@@ -1,0 +1,131 @@
+// bench_test.go provides one testing.B benchmark per table/figure of the
+// paper's evaluation (§8), backed by the same scenario code as the
+// growbench CLI. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use a reduced op count so `go test -bench` stays tractable;
+// use cmd/growbench with -n for full-scale sweeps. Reported metric: the
+// custom "MOps/s" unit per table (higher is better), matching the
+// figures' y-axes.
+package growt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+
+	_ "repro/internal/baselines"
+	_ "repro/internal/core"
+)
+
+// benchCfg builds a small configuration; tables can narrow the set.
+func benchCfg(b *testing.B, tables ...string) *bench.Config {
+	b.Helper()
+	cfg := &bench.Config{
+		N:       1 << 16,
+		Threads: []int{4},
+		Skews:   []float64{0.85, 1.25},
+		WPs:     []int{30, 60},
+		Repeat:  1,
+		Tables:  tables,
+	}
+	cfg.Defaults()
+	return cfg
+}
+
+// report publishes each scenario result as a benchmark metric.
+func report(b *testing.B, results []bench.Result) {
+	b.Helper()
+	for _, r := range results {
+		name := r.Table
+		if r.Param != 0 {
+			name = fmt.Sprintf("%s_p%g", r.Table, r.Param)
+		}
+		b.ReportMetric(r.MOps, name+"_MOps")
+	}
+}
+
+func runScenario(b *testing.B, f func(*bench.Config) []bench.Result, tables ...string) {
+	for i := 0; i < b.N; i++ {
+		results := f(benchCfg(b, tables...))
+		if i == b.N-1 {
+			report(b, results)
+		}
+	}
+}
+
+var headline = []string{"folklore", "uaGrow", "usGrow", "mutexmap", "syncmap", "cuckoo"}
+
+func BenchmarkFig2aInsertPresized(b *testing.B) {
+	runScenario(b, bench.Fig2aInsertPresized, headline...)
+}
+
+func BenchmarkFig2bInsertGrowing(b *testing.B) {
+	runScenario(b, bench.Fig2bInsertGrowing, "uaGrow", "usGrow", "junctionlinear", "syncmap", "mutexmap")
+}
+
+func BenchmarkFig3aFindSuccess(b *testing.B) {
+	runScenario(b, bench.Fig3aFindSuccess, headline...)
+}
+
+func BenchmarkFig3bFindMiss(b *testing.B) {
+	runScenario(b, bench.Fig3bFindMiss, headline...)
+}
+
+func BenchmarkFig4aUpdateContention(b *testing.B) {
+	runScenario(b, bench.Fig4aUpdateContention, "folklore", "uaGrow", "usGrow", "cuckoo", "mutexmap")
+}
+
+func BenchmarkFig4bFindContention(b *testing.B) {
+	runScenario(b, bench.Fig4bFindContention, "folklore", "uaGrow", "usGrow", "cuckoo", "mutexmap")
+}
+
+func BenchmarkFig5aAggPresized(b *testing.B) {
+	runScenario(b, bench.Fig5aAggPresized, "folklore", "uaGrow", "usGrow", "syncmap")
+}
+
+func BenchmarkFig5bAggGrowing(b *testing.B) {
+	runScenario(b, bench.Fig5bAggGrowing, "uaGrow", "usGrow", "syncmap")
+}
+
+func BenchmarkFig6Delete(b *testing.B) {
+	runScenario(b, bench.Fig6Delete, "uaGrow", "usGrow", "hopscotch", "cuckoo", "splitorder")
+}
+
+func BenchmarkFig7aMixPresized(b *testing.B) {
+	runScenario(b, bench.Fig7aMixPresized, headline...)
+}
+
+func BenchmarkFig7bMixGrowing(b *testing.B) {
+	runScenario(b, bench.Fig7bMixGrowing, "uaGrow", "usGrow", "junctionlinear", "syncmap")
+}
+
+func BenchmarkFig8aPoolInsert(b *testing.B) {
+	runScenario(b, bench.Fig8aPoolInsert)
+}
+
+func BenchmarkFig8bPoolDelete(b *testing.B) {
+	runScenario(b, bench.Fig8bPoolDelete)
+}
+
+func BenchmarkFig9aTSXPresized(b *testing.B) {
+	runScenario(b, bench.Fig9aTSXPresized)
+}
+
+func BenchmarkFig9bTSXGrowing(b *testing.B) {
+	runScenario(b, bench.Fig9bTSXGrowing)
+}
+
+func BenchmarkFig10Memory(b *testing.B) {
+	runScenario(b, bench.Fig10Memory, "folklore", "uaGrow", "folly")
+}
+
+func BenchmarkFig11aManyThreads(b *testing.B) {
+	runScenario(b, bench.Fig11aManyThreads, "uaGrow", "usGrow", "syncmap")
+}
+
+func BenchmarkFig11bManyThreads(b *testing.B) {
+	runScenario(b, bench.Fig11bManyThreads, "folklore", "uaGrow", "syncmap")
+}

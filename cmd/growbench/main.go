@@ -1,0 +1,112 @@
+// Command growbench regenerates the tables and figures of the paper's
+// evaluation (§8). Each experiment id corresponds to one figure/table;
+// see DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	growbench -exp fig2a                  # one experiment
+//	growbench -exp all -n 1000000        # the whole evaluation
+//	growbench -exp fig4a -s 0.75,1.25    # restrict the skew sweep
+//	growbench -exp fig2b -tables uaGrow,usGrow -threads 1,4,8
+//	growbench -exp table1                # the functionality matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+
+	_ "repro/internal/baselines" // register all competitor tables
+	_ "repro/internal/core"      // register the paper's tables
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig2a..fig11b, table1, all)")
+		n       = flag.Uint64("n", 1<<20, "operations per measurement (paper: 1e8)")
+		threads = flag.String("threads", "", "comma-separated goroutine counts")
+		tabs    = flag.String("tables", "", "comma-separated table filter")
+		skews   = flag.String("s", "", "comma-separated Zipf exponents")
+		wps     = flag.String("wp", "", "comma-separated write percentages")
+		repeat  = flag.Int("repeat", 3, "runs per data point (averaged)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "growbench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := &bench.Config{N: *n, Repeat: *repeat, Out: os.Stdout}
+	var err error
+	if cfg.Threads, err = parseInts(*threads); err != nil {
+		fatal(err)
+	}
+	if cfg.Skews, err = parseFloats(*skews); err != nil {
+		fatal(err)
+	}
+	if cfg.WPs, err = parseInts(*wps); err != nil {
+		fatal(err)
+	}
+	if *tabs != "" {
+		cfg.Tables = strings.Split(*tabs, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Order
+	}
+	for _, id := range ids {
+		runner, ok := bench.Experiments[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+		}
+		runner(cfg)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "growbench:", err)
+	os.Exit(1)
+}

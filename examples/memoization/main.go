@@ -1,0 +1,135 @@
+// Memoization: the paper's §1/§2 cite lock-free parallel dynamic
+// programming (Stivala et al. [36]) — threads share a memo table of
+// already-solved subproblems. This example solves a two-parameter
+// recurrence (a weighted Delannoy-style path count, mod 2^61) with
+// several racing top-down solvers sharing one growt table: whoever solves
+// a subproblem first publishes it; everyone else reuses it.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	growt "repro"
+)
+
+const (
+	dim     = 340 // (dim × dim) subproblem grid
+	modulus = uint64(1)<<61 - 1
+	workers = 4
+)
+
+// key packs the two coordinates (nonzero because x+1 ≥ 1).
+func key(x, y int) uint64 { return uint64(x+1)<<32 | uint64(y+1) }
+
+// solver computes f(x,y) = f(x-1,y) + f(x,y-1) + f(x-1,y-1)·x mod m with
+// memoization. A per-goroutine explicit stack avoids goroutine-stack
+// overflows at large dims.
+type solver struct {
+	h      growt.Handle
+	misses *atomic.Uint64
+}
+
+func (s *solver) solve(x, y int) uint64 {
+	type frame struct{ x, y int }
+	stack := []frame{{x, y}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		if f.x == 0 || f.y == 0 {
+			s.h.Insert(key(f.x, f.y), 1)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		a, okA := s.h.Find(key(f.x-1, f.y))
+		b, okB := s.h.Find(key(f.x, f.y-1))
+		c, okC := s.h.Find(key(f.x-1, f.y-1))
+		if !okA {
+			stack = append(stack, frame{f.x - 1, f.y})
+		}
+		if !okB {
+			stack = append(stack, frame{f.x, f.y - 1})
+		}
+		if !okC {
+			stack = append(stack, frame{f.x - 1, f.y - 1})
+		}
+		if okA && okB && okC {
+			v := (a + b + c%modulus*uint64(f.x)) % modulus
+			// Insert (not update): first solver wins, result is immutable.
+			if !s.h.Insert(key(f.x, f.y), v) {
+				s.misses.Add(1)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	v, _ := s.h.Find(key(x, y))
+	return v
+}
+
+func main() {
+	memo := growt.NewMap(growt.Options{})
+	defer growt.Close(memo)
+
+	var dup atomic.Uint64
+	start := time.Now()
+	results := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := &solver{h: memo.Handle(), misses: &dup}
+			// Workers attack different corners first, converging on the
+			// same shared subproblems.
+			switch w % 4 {
+			case 0:
+				results[w] = s.solve(dim, dim)
+			case 1:
+				s.solve(dim/2, dim)
+				results[w] = s.solve(dim, dim)
+			case 2:
+				s.solve(dim, dim/2)
+				results[w] = s.solve(dim, dim)
+			default:
+				s.solve(dim/2, dim/2)
+				results[w] = s.solve(dim, dim)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, r := range results[1:] {
+		if r != results[0] {
+			panic("solvers disagree — memo table corrupted")
+		}
+	}
+	size, _ := growt.ApproxSize(memo)
+	fmt.Printf("f(%d,%d) = %d\n", dim, dim, results[0])
+	fmt.Printf("memo entries ≈ %d (grid %d), duplicate solves %d, %v\n",
+		size, (dim+1)*(dim+1), dup.Load(), elapsed)
+
+	// Sequential reference for the final answer.
+	ref := sequential(dim, dim)
+	if ref != results[0] {
+		panic(fmt.Sprintf("parallel %d != sequential %d", results[0], ref))
+	}
+	fmt.Println("matches the sequential dynamic program ✓")
+}
+
+func sequential(X, Y int) uint64 {
+	prev := make([]uint64, Y+1)
+	cur := make([]uint64, Y+1)
+	for y := 0; y <= Y; y++ {
+		prev[y] = 1
+	}
+	for x := 1; x <= X; x++ {
+		cur[0] = 1
+		for y := 1; y <= Y; y++ {
+			cur[y] = (prev[y] + cur[y-1] + prev[y-1]%modulus*uint64(x)) % modulus
+		}
+		copy(prev, cur)
+	}
+	return prev[Y]
+}

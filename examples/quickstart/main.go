@@ -1,0 +1,58 @@
+// Quickstart: the public API in two minutes — build a growing table,
+// give each goroutine a handle (§5.1 of the paper), and use the four
+// modification primitives of §4.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	growt "repro"
+)
+
+func main() {
+	// A growing table (uaGrow, the paper's headline variant). It starts
+	// tiny and doubles itself via scalable cluster migration as needed.
+	m := growt.NewMap(growt.Options{})
+	defer growt.Close(m)
+
+	var wg sync.WaitGroup
+	for worker := 0; worker < 4; worker++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			h := m.Handle() // one handle per goroutine — never share
+			for k := uint64(1); k <= 10_000; k++ {
+				// Insert: exactly one goroutine wins each key.
+				h.Insert(k, id)
+				// InsertOrUpdate with an update function: atomic
+				// aggregation without read-modify-write races.
+				h.InsertOrUpdate(k+1_000_000, 1, growt.AddFn)
+			}
+		}(uint64(worker))
+	}
+	wg.Wait()
+
+	h := m.Handle()
+	if v, ok := h.Find(42); ok {
+		fmt.Printf("key 42 was inserted first by worker %d\n", v)
+	}
+	v, _ := h.Find(1_000_042)
+	fmt.Printf("counter 1000042 aggregated to %d (want 4)\n", v)
+
+	if n, ok := growt.ApproxSize(m); ok {
+		fmt.Printf("approximate size: %d (exact: 20000)\n", n)
+	}
+
+	// Update with a caller-supplied function — the paper's novel update
+	// interface (§4): new = up(current, d).
+	h.Update(42, 100, func(cur, d uint64) uint64 { return cur*1000 + d })
+	v, _ = h.Find(42)
+	fmt.Printf("key 42 after functional update: %d\n", v)
+
+	// Deletion tombstones the cell; the next migration reclaims it (§5.4).
+	h.Delete(42)
+	if _, ok := h.Find(42); !ok {
+		fmt.Println("key 42 deleted")
+	}
+}

@@ -1,0 +1,157 @@
+// Package growt is a Go implementation of the concurrent hash tables of
+//
+//	Maier, Sanders, Dementiev: "Concurrent Hash Tables: Fast and
+//	General?(!)", PPoPP 2016 (full version arXiv:1601.04017).
+//
+// It provides the bounded lock-free linear-probing "folklore" table (§4
+// of the paper), the four adaptively growing variants uaGrow / usGrow /
+// paGrow / psGrow built on scalable cluster migration (§5, §7), the
+// transaction-assisted tsxfolklore variants (§6, emulated HTM), the full
+// 64-bit key-space wrapper (§5.6), and a complex-key string map (§5.7).
+//
+// # Quick start
+//
+//	m := growt.NewMap(growt.Options{})      // uaGrow, growing
+//	h := m.Handle()                         // one handle per goroutine
+//	h.Insert(42, 1)
+//	h.InsertOrUpdate(42, 1, growt.AddFn)    // atomic aggregation
+//	v, ok := h.Find(42)
+//	h.Delete(42)
+//
+// Handles (§5.1) are goroutine-private: create one per goroutine, never
+// share them. The table itself is freely shareable.
+//
+// # Key and value domains
+//
+// The word-sized tables store 63-bit keys (nonzero) and 62-bit values;
+// the spare bits drive the paper's cell protocol. Wrap a table in
+// NewFullKeyMap to restore the full 64-bit key space (§5.6), or use
+// NewStringMap for arbitrary string keys (§5.7).
+package growt
+
+import (
+	"repro/internal/core"
+	"repro/internal/stringmap"
+	"repro/internal/tables"
+)
+
+// UpdateFn computes a new value from the current value and the operand.
+type UpdateFn = tables.UpdateFn
+
+// Handle is a goroutine-private table accessor (§5.1).
+type Handle = tables.Handle
+
+// Map is a shared concurrent hash table.
+type Map = tables.Interface
+
+// AddFn adds the operand to the stored value (atomic aggregation).
+var AddFn = tables.AddFn
+
+// Overwrite replaces the stored value with the operand.
+var Overwrite = tables.Overwrite
+
+// Strategy selects a growing variant (§7).
+type Strategy = core.Strategy
+
+// The four growing strategies: {user-thread, pool} recruitment ×
+// {asynchronous marking, synchronized} consistency.
+const (
+	UAGrow = core.UA
+	USGrow = core.US
+	PAGrow = core.PA
+	PSGrow = core.PS
+)
+
+const (
+	// MaxKey is the largest key of the word-sized tables.
+	MaxKey = core.MaxKey
+	// MaxValue is the largest value of the word-sized tables.
+	MaxValue = core.MaxValue
+)
+
+// Options configures NewMap.
+type Options struct {
+	// Strategy picks the growing variant; default UAGrow (the paper's
+	// headline configuration).
+	Strategy Strategy
+	// InitialCapacity is the starting cell count; default 4096 (the
+	// paper's growing benchmarks start there). Rounded up to a power of
+	// two.
+	InitialCapacity uint64
+	// Bounded disables growing: the table is a folklore table with
+	// capacity 2×Expected (§4). Expected must then be set.
+	Bounded bool
+	// Expected is the expected number of elements for bounded tables.
+	Expected uint64
+	// TSX routes write operations through emulated restricted memory
+	// transactions (§6).
+	TSX bool
+}
+
+// NewMap builds a word-sized concurrent hash table per opts.
+func NewMap(opts Options) Map {
+	if opts.Bounded {
+		n := opts.Expected
+		if n == 0 {
+			n = 1 << 20
+		}
+		if opts.TSX {
+			return core.NewTSXFolklore(n)
+		}
+		return core.NewFolklore(n)
+	}
+	capacity := opts.InitialCapacity
+	if capacity == 0 {
+		capacity = 4096
+	}
+	if opts.TSX {
+		return core.NewGrowTSX(opts.Strategy, capacity)
+	}
+	return core.NewGrow(opts.Strategy, capacity)
+}
+
+// NewFolklore builds the bounded folklore table of §4 sized for expected
+// elements (capacity 2×expected, the paper's rule).
+func NewFolklore(expected uint64) *core.Folklore { return core.NewFolklore(expected) }
+
+// NewGrow builds a growing table with the given strategy (§5, §7).
+func NewGrow(s Strategy, initialCapacity uint64) *core.Grow {
+	return core.NewGrow(s, initialCapacity)
+}
+
+// NewFullKeyMap wraps tables built by mk into a map accepting the entire
+// 64-bit key space (§5.6 two-subtable construction).
+func NewFullKeyMap(mk func() Map) *core.FullKeys { return core.NewFullKeys(mk) }
+
+// StringMap is the complex-key table of §5.7 (string keys, arena
+// storage, signature-accelerated probing).
+type StringMap = stringmap.Map
+
+// NewStringMap builds a bounded string-keyed map sized for expected
+// elements.
+func NewStringMap(expected uint64) *StringMap { return stringmap.New(expected) }
+
+// Close releases background resources if the map owns any (the dedicated
+// migration pools of paGrow/psGrow). Safe to call on any Map.
+func Close(m Map) {
+	if c, ok := m.(tables.Closer); ok {
+		c.Close()
+	}
+}
+
+// ApproxSize returns the map's size estimate (§5.2) if it supports one.
+func ApproxSize(m Map) (uint64, bool) {
+	if s, ok := m.(tables.Sizer); ok {
+		return s.ApproxSize(), true
+	}
+	return 0, false
+}
+
+// Range iterates the map if it supports iteration (quiescent use only).
+func Range(m Map, f func(k, v uint64) bool) bool {
+	if r, ok := m.(tables.Ranger); ok {
+		r.Range(f)
+		return true
+	}
+	return false
+}

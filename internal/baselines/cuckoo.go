@@ -1,0 +1,398 @@
+package baselines
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashfn"
+	"repro/internal/tables"
+)
+
+// Cuckoo reimplements libcuckoo (Li, Andersen, Kaminsky, Freedman [17]):
+// bucketized cuckoo hashing with 4-slot buckets, two hash functions, a
+// striped spinlock table, BFS search for short eviction paths, and moves
+// executed one hop at a time under the two buckets' locks with
+// re-validation. Growing is a full rehash under a global write lock —
+// the paper classifies cuckoo's growing as "slow". Reads take the bucket
+// locks (as in libcuckoo without TSX), which is exactly what makes it
+// collapse under read contention in the paper's Fig. 4b.
+type Cuckoo struct {
+	global  sync.RWMutex // held shared by ops, exclusively by rehash
+	buckets []ckBucket
+	locks   []ckLock
+	mask    uint64
+	size    atomic.Int64
+}
+
+type ckBucket struct {
+	keys [4]uint64
+	vals [4]uint64
+}
+
+type ckLock struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+const (
+	ckLocks    = 2048
+	ckBFSDepth = 5
+	ckBFSQueue = 512
+)
+
+// NewCuckoo builds a table with ≥ 2·expected slots.
+func NewCuckoo(expected uint64) *Cuckoo {
+	nb := uint64(16)
+	for nb*4 < 2*expected {
+		nb <<= 1
+	}
+	return &Cuckoo{
+		buckets: make([]ckBucket, nb),
+		locks:   make([]ckLock, ckLocks),
+		mask:    nb - 1,
+	}
+}
+
+func (t *Cuckoo) hashes(k uint64) (uint64, uint64) {
+	h := hashfn.Hash64(k)
+	return h & t.mask, (h >> 32) * 0x9E3779B97F4A7C15 >> 32 & t.mask
+}
+
+func (t *Cuckoo) lock2(b1, b2 uint64) func() {
+	l1, l2 := b1&(ckLocks-1), b2&(ckLocks-1)
+	if l1 == l2 {
+		t.locks[l1].mu.Lock()
+		return t.locks[l1].mu.Unlock
+	}
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	t.locks[l1].mu.Lock()
+	t.locks[l2].mu.Lock()
+	return func() {
+		t.locks[l2].mu.Unlock()
+		t.locks[l1].mu.Unlock()
+	}
+}
+
+// slotOf returns (bucket, slot) of k or (^0, 0). Caller holds the locks.
+func (t *Cuckoo) slotOf(b1, b2, k uint64) (uint64, int) {
+	for s := 0; s < 4; s++ {
+		if t.buckets[b1].keys[s] == k {
+			return b1, s
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if t.buckets[b2].keys[s] == k {
+			return b2, s
+		}
+	}
+	return ^uint64(0), 0
+}
+
+// freeSlot returns a free slot index in b or -1.
+func (t *Cuckoo) freeSlot(b uint64) int {
+	for s := 0; s < 4; s++ {
+		if t.buckets[b].keys[s] == 0 {
+			return s
+		}
+	}
+	return -1
+}
+
+// Handle returns the table itself.
+func (t *Cuckoo) Handle() tables.Handle { return direct(t) }
+
+// ApproxSize returns the exact size.
+func (t *Cuckoo) ApproxSize() uint64 {
+	n := t.size.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}
+
+// MemBytes reports backing memory.
+func (t *Cuckoo) MemBytes() uint64 { return uint64(len(t.buckets)) * 64 }
+
+// Range iterates elements; quiescent use only.
+func (t *Cuckoo) Range(f func(k, v uint64) bool) {
+	for i := range t.buckets {
+		for s := 0; s < 4; s++ {
+			if k := t.buckets[i].keys[s]; k != 0 {
+				if !f(k, t.buckets[i].vals[s]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+var _ tables.Interface = (*Cuckoo)(nil)
+var _ tables.Sizer = (*Cuckoo)(nil)
+var _ tables.Ranger = (*Cuckoo)(nil)
+var _ tables.MemUser = (*Cuckoo)(nil)
+
+// Insert implements tables.Handle.
+func (t *Cuckoo) Insert(k, d uint64) bool {
+	if k == 0 {
+		panic("baselines: key 0 reserved")
+	}
+	ins, _ := t.upsert(k, d, nil)
+	return ins
+}
+
+// Update implements tables.Handle.
+func (t *Cuckoo) Update(k, d uint64, up tables.UpdateFn) bool {
+	t.global.RLock()
+	defer t.global.RUnlock()
+	b1, b2 := t.hashes(k)
+	unlock := t.lock2(b1, b2)
+	defer unlock()
+	b, s := t.slotOf(b1, b2, k)
+	if b == ^uint64(0) {
+		return false
+	}
+	t.buckets[b].vals[s] = up(t.buckets[b].vals[s], d)
+	return true
+}
+
+// InsertOrUpdate implements tables.Handle.
+func (t *Cuckoo) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	ins, _ := t.upsert(k, d, up)
+	return ins
+}
+
+// upsert inserts, updates (if up != nil), or refuses a duplicate.
+func (t *Cuckoo) upsert(k, d uint64, up tables.UpdateFn) (inserted, updated bool) {
+	for {
+		t.global.RLock()
+		b1, b2 := t.hashes(k)
+		unlock := t.lock2(b1, b2)
+		if b, s := t.slotOf(b1, b2, k); b != ^uint64(0) {
+			if up != nil {
+				t.buckets[b].vals[s] = up(t.buckets[b].vals[s], d)
+				unlock()
+				t.global.RUnlock()
+				return false, true
+			}
+			unlock()
+			t.global.RUnlock()
+			return false, false
+		}
+		if s := t.freeSlot(b1); s >= 0 {
+			t.buckets[b1].keys[s] = k
+			t.buckets[b1].vals[s] = d
+			unlock()
+			t.size.Add(1)
+			t.global.RUnlock()
+			return true, false
+		}
+		if s := t.freeSlot(b2); s >= 0 {
+			t.buckets[b2].keys[s] = k
+			t.buckets[b2].vals[s] = d
+			unlock()
+			t.size.Add(1)
+			t.global.RUnlock()
+			return true, false
+		}
+		unlock()
+		// Both buckets full: BFS for an eviction path, then retry.
+		if t.evict(b1, b2) {
+			t.global.RUnlock()
+			continue
+		}
+		saw := len(t.buckets)
+		t.global.RUnlock()
+		t.rehash(saw)
+	}
+}
+
+// bfsEntry is one node of the eviction-path search.
+type bfsEntry struct {
+	bucket uint64
+	parent int
+	slot   int // slot taken in parent's bucket to get here
+}
+
+// evict finds a bucket with a free slot reachable by displacing at most
+// ckBFSDepth elements and performs the displacements back-to-front, each
+// under the two buckets' locks with re-validation. Returns false if no
+// path exists (caller rehashes).
+func (t *Cuckoo) evict(b1, b2 uint64) bool {
+	queue := make([]bfsEntry, 0, ckBFSQueue)
+	queue = append(queue, bfsEntry{bucket: b1, parent: -1}, bfsEntry{bucket: b2, parent: -1})
+	depth := map[int]int{0: 0, 1: 0}
+	goal := -1
+	for i := 0; i < len(queue) && goal < 0; i++ {
+		ks := t.snapshot(queue[i].bucket)
+		for s := 0; s < 4; s++ {
+			if ks[s] == 0 {
+				goal = i
+				break
+			}
+		}
+		if goal >= 0 {
+			break
+		}
+		if depth[i] >= ckBFSDepth || len(queue) >= ckBFSQueue {
+			continue
+		}
+		for s := 0; s < 4; s++ {
+			k := ks[s]
+			if k == 0 {
+				continue
+			}
+			h1, h2 := t.hashes(k)
+			alt := h1
+			if h1 == queue[i].bucket {
+				alt = h2
+			}
+			queue = append(queue, bfsEntry{bucket: alt, parent: i, slot: s})
+			depth[len(queue)-1] = depth[i] + 1
+		}
+	}
+	if goal < 0 {
+		return false
+	}
+	// Reconstruct the path root→goal, then move elements from the end.
+	var path []bfsEntry
+	for i := goal; i >= 0; i = queue[i].parent {
+		path = append(path, queue[i])
+		if queue[i].parent == -1 {
+			break
+		}
+	}
+	// path[0] = goal ... path[len-1] = root. Move backwards: for each hop,
+	// move parent's displaced key into the current (freer) bucket.
+	for i := 0; i+1 < len(path); i++ {
+		dst := path[i].bucket
+		src := path[i+1].bucket
+		slot := path[i].slot
+		unlock := t.lock2(dst, src)
+		free := t.freeSlot(dst)
+		k := t.buckets[src].keys[slot]
+		if free < 0 || k == 0 {
+			unlock()
+			return true // plan invalidated; caller retries the insert
+		}
+		h1, h2 := t.hashes(k)
+		if h1 != dst && h2 != dst {
+			unlock()
+			return true // slot was reused by a different key; retry
+		}
+		t.buckets[dst].keys[free] = k
+		t.buckets[dst].vals[free] = t.buckets[src].vals[slot]
+		t.buckets[src].keys[slot] = 0
+		unlock()
+	}
+	return true
+}
+
+// snapshot copies a bucket's keys under its lock (for the BFS planning
+// phase, which otherwise would race with locked writers).
+func (t *Cuckoo) snapshot(b uint64) [4]uint64 {
+	l := &t.locks[b&(ckLocks-1)].mu
+	l.Lock()
+	ks := t.buckets[b].keys
+	l.Unlock()
+	return ks
+}
+
+// rehash doubles the table under the global write lock (libcuckoo-class
+// "slow growing").
+func (t *Cuckoo) rehash(sawBuckets int) {
+	t.global.Lock()
+	defer t.global.Unlock()
+	// Another thread may have rehashed while we waited for the lock.
+	if len(t.buckets) != sawBuckets {
+		return
+	}
+	type ckv struct{ k, v uint64 }
+	var elems []ckv
+	for i := range t.buckets {
+		for s := 0; s < 4; s++ {
+			if k := t.buckets[i].keys[s]; k != 0 {
+				elems = append(elems, ckv{k, t.buckets[i].vals[s]})
+			}
+		}
+	}
+	nb := 2 * len(t.buckets)
+	for {
+		t.buckets = make([]ckBucket, nb)
+		t.mask = uint64(nb - 1)
+		ok := true
+		for _, e := range elems {
+			if !t.placeRehash(e.k, e.v, 0) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		nb *= 2
+	}
+}
+
+// placeRehash inserts during rehash (single-threaded, no locks), using
+// random-walk eviction up to a bound.
+func (t *Cuckoo) placeRehash(k, v uint64, depth int) bool {
+	if depth > 64 {
+		return false
+	}
+	b1, b2 := t.hashes(k)
+	if s := t.freeSlot(b1); s >= 0 {
+		t.buckets[b1].keys[s] = k
+		t.buckets[b1].vals[s] = v
+		return true
+	}
+	if s := t.freeSlot(b2); s >= 0 {
+		t.buckets[b2].keys[s] = k
+		t.buckets[b2].vals[s] = v
+		return true
+	}
+	// Displace the first slot of b1.
+	vic, vv := t.buckets[b1].keys[0], t.buckets[b1].vals[0]
+	t.buckets[b1].keys[0] = k
+	t.buckets[b1].vals[0] = v
+	return t.placeRehash(vic, vv, depth+1)
+}
+
+// Find implements tables.Handle (locked reads, as in libcuckoo).
+func (t *Cuckoo) Find(k uint64) (uint64, bool) {
+	t.global.RLock()
+	defer t.global.RUnlock()
+	b1, b2 := t.hashes(k)
+	unlock := t.lock2(b1, b2)
+	defer unlock()
+	b, s := t.slotOf(b1, b2, k)
+	if b == ^uint64(0) {
+		return 0, false
+	}
+	return t.buckets[b].vals[s], true
+}
+
+// Delete implements tables.Handle (true deletion, no tombstones).
+func (t *Cuckoo) Delete(k uint64) bool {
+	t.global.RLock()
+	defer t.global.RUnlock()
+	b1, b2 := t.hashes(k)
+	unlock := t.lock2(b1, b2)
+	defer unlock()
+	b, s := t.slotOf(b1, b2, k)
+	if b == ^uint64(0) {
+		return false
+	}
+	t.buckets[b].keys[s] = 0
+	t.size.Add(-1)
+	return true
+}
+
+func init() {
+	tables.Register(tables.Capabilities{
+		Name: "cuckoo", Plot: "libcuckoo stand-in", StdInterface: "direct",
+		Growing: "slow (full rehash)", AtomicUpdates: "locked", Deletion: true,
+		GeneralTypes: true, Reference: "Li et al. [17] bucketized cuckoo, striped locks, BFS",
+	}, func(capacity uint64) tables.Interface { return NewCuckoo(capacity) })
+}

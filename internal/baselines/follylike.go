@@ -1,0 +1,327 @@
+package baselines
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashfn"
+	"repro/internal/tables"
+)
+
+// Folly reimplements folly::AtomicHashMap's growth architecture [9]: a
+// chain of bounded lock-free linear-probing subtables. When the current
+// subtable fills, a new one (a fraction of the previous size, as in
+// folly) is appended; lookups walk the subtable chain — this is what
+// degrades folly's find performance on grown tables in Fig. 3, and the
+// chain bounds total growth to a constant factor of the initial capacity
+// (~18×, §8.1.2). Deletion uses tombstones that are never reclaimed,
+// again as in folly.
+type Folly struct {
+	mu   sync.Mutex // guards appending subtables
+	subs atomic.Pointer[[]*follySub]
+	size atomic.Int64
+}
+
+type follySub struct {
+	cells []uint64 // interleaved key/value; key==follyTomb ⇒ deleted
+	mask  uint64
+	shift uint
+	used  atomic.Int64
+}
+
+const (
+	follyTomb = ^uint64(0) // tombstone key marker
+	// follyMaxSubs bounds the chain (folly allows 14 extra maps).
+	follyMaxSubs = 14
+	// follyGrowthFrac: each extra subtable has initial/2 cells, so total
+	// growth ≈ 1 + 14/2 = 8× cells ≈ folly's bounded growth factor regime.
+	follyFillNum = 4
+	follyFillDen = 5
+)
+
+func newFollySub(capacity uint64) *follySub {
+	if capacity < 64 {
+		capacity = 64
+	}
+	c := uint64(64)
+	for c < capacity {
+		c <<= 1
+	}
+	shift := uint(64)
+	for x := c; x > 1; x >>= 1 {
+		shift--
+	}
+	return &follySub{cells: make([]uint64, 2*c), mask: c - 1, shift: shift}
+}
+
+// NewFolly builds the table with the given initial subtable capacity.
+func NewFolly(capacity uint64) *Folly {
+	t := &Folly{}
+	subs := []*follySub{newFollySub(2 * capacity)}
+	t.subs.Store(&subs)
+	return t
+}
+
+func (s *follySub) loadKey(i uint64) uint64 { return atomic.LoadUint64(&s.cells[2*i]) }
+func (s *follySub) loadVal(i uint64) uint64 { return atomic.LoadUint64(&s.cells[2*i+1]) }
+func (s *follySub) casKey(i, o, n uint64) bool {
+	return atomic.CompareAndSwapUint64(&s.cells[2*i], o, n)
+}
+func (s *follySub) casVal(i, o, n uint64) bool {
+	return atomic.CompareAndSwapUint64(&s.cells[2*i+1], o, n)
+}
+func (s *follySub) storeVal(i, v uint64) { atomic.StoreUint64(&s.cells[2*i+1], v) }
+
+// findIn probes one subtable; returns cell index or ^0, and whether the
+// probe ended at an empty cell (key definitely absent from this sub).
+func (s *follySub) findIn(k uint64) (uint64, bool) {
+	i := hashfn.Hash64(k) >> s.shift
+	for probes := uint64(0); probes <= s.mask; probes++ {
+		kw := s.loadKey(i)
+		if kw == 0 {
+			return ^uint64(0), true
+		}
+		if kw == k {
+			return i, false
+		}
+		i = (i + 1) & s.mask
+	}
+	return ^uint64(0), false
+}
+
+// insertIn tries to claim a cell in s. Returns (cell, status): status 0 =
+// inserted, 1 = already present at cell, 2 = subtable full.
+func (s *follySub) insertIn(k, d uint64) (uint64, int) {
+	capacity := s.mask + 1
+	if uint64(s.used.Load())*follyFillDen >= capacity*follyFillNum {
+		return 0, 2
+	}
+	i := hashfn.Hash64(k) >> s.shift
+	for probes := uint64(0); probes <= s.mask; probes++ {
+		kw := s.loadKey(i)
+		if kw == 0 {
+			// folly publishes under a per-cell spin on the key: claim the
+			// key with a reserved in-flight marker, then write the value.
+			if s.casKey(i, 0, follyTomb-1) {
+				s.storeVal(i, d)
+				atomic.StoreUint64(&s.cells[2*i], k)
+				s.used.Add(1)
+				return i, 0
+			}
+			kw = s.loadKey(i)
+		}
+		for spins := 0; kw == follyTomb-1; spins++ { // in-flight neighbor
+			if spins > 64 {
+				runtime.Gosched()
+			}
+			kw = s.loadKey(i)
+		}
+		if kw == k {
+			return i, 1
+		}
+		i = (i + 1) & s.mask
+	}
+	return 0, 2
+}
+
+// Handle returns the table itself.
+func (t *Folly) Handle() tables.Handle { return direct(t) }
+
+// ApproxSize returns the exact size.
+func (t *Folly) ApproxSize() uint64 {
+	n := t.size.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}
+
+// MemBytes reports backing memory across the subtable chain.
+func (t *Folly) MemBytes() uint64 {
+	var b uint64
+	for _, s := range *t.subs.Load() {
+		b += uint64(len(s.cells)) * 8
+	}
+	return b
+}
+
+// Range iterates elements; quiescent use only.
+func (t *Folly) Range(f func(k, v uint64) bool) {
+	for _, s := range *t.subs.Load() {
+		for i := uint64(0); i <= s.mask; i++ {
+			kw := s.loadKey(i)
+			if kw == 0 || kw == follyTomb || kw == follyTomb-1 {
+				continue
+			}
+			v := s.loadVal(i)
+			if v == follyTomb {
+				continue
+			}
+			if !f(kw, v) {
+				return
+			}
+		}
+	}
+}
+
+var _ tables.Interface = (*Folly)(nil)
+var _ tables.Sizer = (*Folly)(nil)
+var _ tables.Ranger = (*Folly)(nil)
+var _ tables.MemUser = (*Folly)(nil)
+var _ tables.Adder = (*Folly)(nil)
+
+// locate finds k across the chain; returns (sub, cell) or nil.
+func (t *Folly) locate(k uint64) (*follySub, uint64) {
+	for _, s := range *t.subs.Load() {
+		if cell, _ := s.findIn(k); cell != ^uint64(0) {
+			return s, cell
+		}
+	}
+	return nil, 0
+}
+
+// grow appends a new subtable (half the first one's size, folly's
+// default growth fraction).
+func (t *Folly) grow() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	subs := *t.subs.Load()
+	last := subs[len(subs)-1]
+	capacity := last.mask + 1
+	if uint64(last.used.Load())*follyFillDen < capacity*follyFillNum {
+		return // someone already grew
+	}
+	if len(subs) >= follyMaxSubs {
+		panic("baselines: folly-like table exceeded its bounded growth factor (§8.1.2)")
+	}
+	first := subs[0].mask + 1
+	ns := append(append([]*follySub{}, subs...), newFollySub(first))
+	t.subs.Store(&ns)
+}
+
+// Insert implements tables.Handle.
+func (t *Folly) Insert(k, d uint64) bool {
+	if k == 0 || k >= follyTomb-1 {
+		panic("baselines: key outside folly-like domain")
+	}
+	for {
+		subs := *t.subs.Load()
+		// Check all but the last subtable for the key (they are full).
+		for i := 0; i+1 < len(subs); i++ {
+			if cell, _ := subs[i].findIn(k); cell != ^uint64(0) {
+				if subs[i].loadVal(cell) != follyTomb {
+					return false
+				}
+				// Tombstoned in an old subtable: folly revives in place.
+				if subs[i].casVal(cell, follyTomb, d) {
+					t.size.Add(1)
+					return true
+				}
+				return false
+			}
+		}
+		last := subs[len(subs)-1]
+		cell, st := last.insertIn(k, d)
+		switch st {
+		case 0:
+			t.size.Add(1)
+			return true
+		case 1:
+			if last.loadVal(cell) == follyTomb {
+				if last.casVal(cell, follyTomb, d) {
+					t.size.Add(1)
+					return true
+				}
+			}
+			return false
+		default:
+			t.grow()
+		}
+	}
+}
+
+// Update implements tables.Handle.
+func (t *Folly) Update(k, d uint64, up tables.UpdateFn) bool {
+	s, cell := t.locate(k)
+	if s == nil {
+		return false
+	}
+	for {
+		v := s.loadVal(cell)
+		if v == follyTomb {
+			return false
+		}
+		if s.casVal(cell, v, up(v, d)) {
+			return true
+		}
+	}
+}
+
+// InsertOrUpdate implements tables.Handle.
+func (t *Folly) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	for {
+		if s, cell := t.locate(k); s != nil {
+			v := s.loadVal(cell)
+			if v != follyTomb {
+				if s.casVal(cell, v, up(v, d)) {
+					return false
+				}
+				continue
+			}
+			if s.casVal(cell, follyTomb, d) {
+				t.size.Add(1)
+				return true
+			}
+			continue
+		}
+		if t.Insert(k, d) {
+			return true
+		}
+	}
+}
+
+// InsertOrAdd implements tables.Adder with a fetch-add on the value word.
+func (t *Folly) InsertOrAdd(k, d uint64) bool {
+	return t.InsertOrUpdate(k, d, tables.AddFn)
+}
+
+// Find implements tables.Handle: walks the whole subtable chain (the
+// grown-table find penalty of Fig. 3).
+func (t *Folly) Find(k uint64) (uint64, bool) {
+	s, cell := t.locate(k)
+	if s == nil {
+		return 0, false
+	}
+	v := s.loadVal(cell)
+	if v == follyTomb {
+		return 0, false
+	}
+	return v, true
+}
+
+// Delete implements tables.Handle: value tombstone, never reclaimed.
+func (t *Folly) Delete(k uint64) bool {
+	s, cell := t.locate(k)
+	if s == nil {
+		return false
+	}
+	for {
+		v := s.loadVal(cell)
+		if v == follyTomb {
+			return false
+		}
+		if s.casVal(cell, v, follyTomb) {
+			t.size.Add(-1)
+			return true
+		}
+	}
+}
+
+func init() {
+	tables.Register(tables.Capabilities{
+		Name: "folly", Plot: "+ marker", StdInterface: "direct",
+		Growing: "const factor", AtomicUpdates: "yes", Deletion: true,
+		GeneralTypes: false, Reference: "folly::AtomicHashMap [9] subtable chaining",
+	}, func(capacity uint64) tables.Interface { return NewFolly(capacity) })
+}

@@ -1,0 +1,286 @@
+package baselines
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/hashfn"
+	"repro/internal/tables"
+)
+
+// Hopscotch reimplements hopscotch hashing (Herlihy, Shavit, Tzafrir [13])
+// as benchmarked by the paper: a bounded open-addressing table where every
+// element lives within a fixed hop range H of its home bucket, tracked by
+// a per-bucket hop-info bitmap; inserts displace elements backwards to
+// restore the invariant. The table is striped into lockable segments;
+// operations acquire the (few) segments they touch in globally sorted
+// order, which keeps the scheme deadlock-free including wrap-around.
+// Like the original release, the table does not grow.
+type Hopscotch struct {
+	keys []uint64
+	vals []uint64
+	hops []uint32 // bit i set: cell home+i holds an element homed here
+	segs []hsSeg
+	mask uint64
+}
+
+type hsSeg struct {
+	mu sync.RWMutex
+	_  [40]byte
+}
+
+const (
+	hopRange   = 32
+	hsSegCells = 4096
+	// hsProbeSpan bounds the free-slot probe of an insert (in segments).
+	hsProbeSpan = 4
+)
+
+// NewHopscotch builds a bounded table with capacity ≥ 2·expected.
+func NewHopscotch(expected uint64) *Hopscotch {
+	capacity := uint64(hsSegCells)
+	for capacity < 2*expected {
+		capacity <<= 1
+	}
+	return &Hopscotch{
+		keys: make([]uint64, capacity),
+		vals: make([]uint64, capacity),
+		hops: make([]uint32, capacity),
+		segs: make([]hsSeg, capacity/hsSegCells),
+		mask: capacity - 1,
+	}
+}
+
+func (t *Hopscotch) home(k uint64) uint64 { return hashfn.Avalanche(k) & t.mask }
+
+// segsFor returns the distinct segment indices covering cells
+// [start, start+span] (circular), sorted ascending.
+func (t *Hopscotch) segsFor(start, span uint64) []int {
+	n := uint64(len(t.segs))
+	first := start / hsSegCells
+	count := (start%hsSegCells+span)/hsSegCells + 1
+	if count > n {
+		count = n
+	}
+	out := make([]int, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, int((first+i)%n))
+	}
+	sort.Ints(out)
+	// dedupe (possible after modulo)
+	w := 0
+	for i, s := range out {
+		if i == 0 || s != out[w-1] {
+			out[w] = s
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func (t *Hopscotch) lock(idx []int) {
+	for _, i := range idx {
+		t.segs[i].mu.Lock()
+	}
+}
+
+func (t *Hopscotch) unlock(idx []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		t.segs[idx[i]].mu.Unlock()
+	}
+}
+
+func (t *Hopscotch) rlock(idx []int) {
+	for _, i := range idx {
+		t.segs[i].mu.RLock()
+	}
+}
+
+func (t *Hopscotch) runlock(idx []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		t.segs[idx[i]].mu.RUnlock()
+	}
+}
+
+// Handle returns the table itself.
+func (t *Hopscotch) Handle() tables.Handle { return direct(t) }
+
+// ApproxSize counts elements (O(n); quiescent use only).
+func (t *Hopscotch) ApproxSize() uint64 {
+	var n uint64
+	for i := range t.keys {
+		if t.keys[i] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MemBytes reports backing memory.
+func (t *Hopscotch) MemBytes() uint64 { return uint64(len(t.keys)) * (8 + 8 + 4) }
+
+// Range iterates elements; quiescent use only.
+func (t *Hopscotch) Range(f func(k, v uint64) bool) {
+	for i := range t.keys {
+		if t.keys[i] != 0 {
+			if !f(t.keys[i], t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+var _ tables.Interface = (*Hopscotch)(nil)
+var _ tables.Sizer = (*Hopscotch)(nil)
+var _ tables.Ranger = (*Hopscotch)(nil)
+var _ tables.MemUser = (*Hopscotch)(nil)
+
+// findSlot returns the cell holding k (via the hop bitmap) or ^0. Caller
+// holds the covering locks.
+func (t *Hopscotch) findSlot(home, k uint64) uint64 {
+	hop := t.hops[home]
+	for hop != 0 {
+		i := uint(trailingZeros32(hop))
+		cell := (home + uint64(i)) & t.mask
+		if t.keys[cell] == k {
+			return cell
+		}
+		hop &^= 1 << i
+	}
+	return ^uint64(0)
+}
+
+func trailingZeros32(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// insertLocked performs the hopscotch insertion; caller holds the probe
+// span's locks and has established that k is absent.
+func (t *Hopscotch) insertLocked(home, k, d uint64) {
+	free := home
+	dist := uint64(0)
+	limit := uint64(hsProbeSpan*hsSegCells - hsSegCells/2)
+	for t.keys[free] != 0 {
+		free = (free + 1) & t.mask
+		dist++
+		if dist > limit {
+			panic("baselines: hopscotch table full (probe span exhausted) — size it to ≥2n")
+		}
+	}
+	for dist >= hopRange {
+		moved := false
+		for back := uint64(hopRange - 1); back >= 1; back-- {
+			cand := (free + t.mask + 1 - back) & t.mask
+			hop := t.hops[cand]
+			if hop == 0 {
+				continue
+			}
+			i := uint(trailingZeros32(hop))
+			if uint64(i) >= back {
+				continue // its nearest element is at/after the free cell
+			}
+			cell := (cand + uint64(i)) & t.mask
+			t.keys[free] = t.keys[cell]
+			t.vals[free] = t.vals[cell]
+			t.hops[cand] = hop&^(1<<i) | 1<<uint(back)
+			t.keys[cell] = 0
+			free = cell
+			dist -= back - uint64(i)
+			moved = true
+			break
+		}
+		if !moved {
+			panic("baselines: hopscotch displacement failed — table too full")
+		}
+	}
+	t.keys[free] = k
+	t.vals[free] = d
+	t.hops[home] |= 1 << uint(dist)
+}
+
+// Insert implements tables.Handle.
+func (t *Hopscotch) Insert(k, d uint64) bool {
+	if k == 0 {
+		panic("baselines: key 0 reserved")
+	}
+	home := t.home(k)
+	idx := t.segsFor(home, hsProbeSpan*hsSegCells)
+	t.lock(idx)
+	defer t.unlock(idx)
+	if t.findSlot(home, k) != ^uint64(0) {
+		return false
+	}
+	t.insertLocked(home, k, d)
+	return true
+}
+
+// Update implements tables.Handle.
+func (t *Hopscotch) Update(k, d uint64, up tables.UpdateFn) bool {
+	home := t.home(k)
+	idx := t.segsFor(home, hopRange)
+	t.lock(idx)
+	defer t.unlock(idx)
+	cell := t.findSlot(home, k)
+	if cell == ^uint64(0) {
+		return false
+	}
+	t.vals[cell] = up(t.vals[cell], d)
+	return true
+}
+
+// InsertOrUpdate implements tables.Handle.
+func (t *Hopscotch) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	home := t.home(k)
+	idx := t.segsFor(home, hsProbeSpan*hsSegCells)
+	t.lock(idx)
+	defer t.unlock(idx)
+	if cell := t.findSlot(home, k); cell != ^uint64(0) {
+		t.vals[cell] = up(t.vals[cell], d)
+		return false
+	}
+	t.insertLocked(home, k, d)
+	return true
+}
+
+// Find implements tables.Handle.
+func (t *Hopscotch) Find(k uint64) (uint64, bool) {
+	home := t.home(k)
+	idx := t.segsFor(home, hopRange)
+	t.rlock(idx)
+	defer t.runlock(idx)
+	cell := t.findSlot(home, k)
+	if cell == ^uint64(0) {
+		return 0, false
+	}
+	return t.vals[cell], true
+}
+
+// Delete implements tables.Handle: clears the cell and its hop bit (a
+// true deletion — hopscotch needs no tombstones).
+func (t *Hopscotch) Delete(k uint64) bool {
+	home := t.home(k)
+	idx := t.segsFor(home, hopRange)
+	t.lock(idx)
+	defer t.unlock(idx)
+	cell := t.findSlot(home, k)
+	if cell == ^uint64(0) {
+		return false
+	}
+	dist := (cell + t.mask + 1 - home) & t.mask
+	t.hops[home] &^= 1 << uint(dist)
+	t.keys[cell] = 0
+	return true
+}
+
+func init() {
+	tables.Register(tables.Capabilities{
+		Name: "hopscotch", Plot: "N marker", StdInterface: "direct",
+		Growing: "no", AtomicUpdates: "locked", Deletion: true,
+		GeneralTypes: false, Reference: "Herlihy et al. [13] hopscotch hashing",
+	}, func(capacity uint64) tables.Interface { return NewHopscotch(capacity) })
+}

@@ -1,0 +1,221 @@
+package baselines
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashfn"
+	"repro/internal/tables"
+)
+
+// LeaHash reimplements Doug Lea's java.util.concurrent.ConcurrentHashMap
+// (the pre-Java-8 design the paper benchmarks as "LeaHash" [16]): the
+// table is split into segments; each segment is a chaining hash table
+// with a lock serializing writers, while readers traverse the immutable
+// chain nodes lock-free (nodes are never mutated after linking except for
+// the value, which is an atomic).
+type LeaHash struct {
+	segs [leaSegments]leaSegment
+}
+
+const leaSegments = 16
+
+type leaSegment struct {
+	mu      sync.Mutex
+	buckets atomic.Pointer[[]atomic.Pointer[leaNode]]
+	count   atomic.Int64
+	_       [24]byte
+}
+
+type leaNode struct {
+	key  uint64
+	val  atomic.Uint64
+	next atomic.Pointer[leaNode] // written only under the segment lock
+}
+
+// NewLeaHash builds the table with a per-segment capacity hint.
+func NewLeaHash(capacity uint64) *LeaHash {
+	t := &LeaHash{}
+	per := uint64(16)
+	for per*leaSegments < capacity {
+		per <<= 1
+	}
+	for i := range t.segs {
+		b := make([]atomic.Pointer[leaNode], per)
+		t.segs[i].buckets.Store(&b)
+	}
+	return t
+}
+
+func (t *LeaHash) segment(h uint64) *leaSegment { return &t.segs[h>>60] }
+
+// Handle returns the table itself.
+func (t *LeaHash) Handle() tables.Handle { return direct(t) }
+
+// ApproxSize sums the segment counters.
+func (t *LeaHash) ApproxSize() uint64 {
+	var n int64
+	for i := range t.segs {
+		n += t.segs[i].count.Load()
+	}
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}
+
+// Range iterates elements.
+func (t *LeaHash) Range(f func(k, v uint64) bool) {
+	for i := range t.segs {
+		b := *t.segs[i].buckets.Load()
+		for j := range b {
+			for e := b[j].Load(); e != nil; e = e.next.Load() {
+				if !f(e.key, e.val.Load()) {
+					return
+				}
+			}
+		}
+	}
+}
+
+var _ tables.Interface = (*LeaHash)(nil)
+var _ tables.Sizer = (*LeaHash)(nil)
+var _ tables.Ranger = (*LeaHash)(nil)
+
+// findNode is the lock-free read path.
+func (s *leaSegment) findNode(h, k uint64) *leaNode {
+	b := *s.buckets.Load()
+	for e := b[h&uint64(len(b)-1)].Load(); e != nil; e = e.next.Load() {
+		if e.key == k {
+			return e
+		}
+	}
+	return nil
+}
+
+// rehash doubles the segment's bucket array; caller holds the lock.
+func (s *leaSegment) rehash() {
+	old := *s.buckets.Load()
+	nb := make([]atomic.Pointer[leaNode], 2*len(old))
+	mask := uint64(len(nb) - 1)
+	for i := range old {
+		for e := old[i].Load(); e != nil; e = e.next.Load() {
+			h := hashfn.Avalanche(e.key)
+			n := &leaNode{key: e.key}
+			n.val.Store(e.val.Load())
+			n.next.Store(nb[h&mask].Load())
+			nb[h&mask].Store(n)
+		}
+	}
+	s.buckets.Store(&nb)
+}
+
+func (s *leaSegment) maybeRehash() {
+	if uint64(s.count.Load()) > uint64(len(*s.buckets.Load()))*4 {
+		s.rehash()
+	}
+}
+
+// Insert implements tables.Handle.
+func (t *LeaHash) Insert(k, d uint64) bool {
+	h := hashfn.Avalanche(k)
+	s := t.segment(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.findNode(h, k) != nil {
+		return false
+	}
+	b := *s.buckets.Load()
+	head := &b[h&uint64(len(b)-1)]
+	n := &leaNode{key: k}
+	n.val.Store(d)
+	n.next.Store(head.Load())
+	head.Store(n)
+	s.count.Add(1)
+	s.maybeRehash()
+	return true
+}
+
+// Update implements tables.Handle.
+func (t *LeaHash) Update(k, d uint64, up tables.UpdateFn) bool {
+	h := hashfn.Avalanche(k)
+	s := t.segment(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.findNode(h, k)
+	if e == nil {
+		return false
+	}
+	e.val.Store(up(e.val.Load(), d))
+	return true
+}
+
+// InsertOrUpdate implements tables.Handle.
+func (t *LeaHash) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	h := hashfn.Avalanche(k)
+	s := t.segment(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.findNode(h, k); e != nil {
+		e.val.Store(up(e.val.Load(), d))
+		return false
+	}
+	b := *s.buckets.Load()
+	head := &b[h&uint64(len(b)-1)]
+	n := &leaNode{key: k}
+	n.val.Store(d)
+	n.next.Store(head.Load())
+	head.Store(n)
+	s.count.Add(1)
+	s.maybeRehash()
+	return true
+}
+
+// Find implements tables.Handle: lock-free, like Lea's get().
+func (t *LeaHash) Find(k uint64) (uint64, bool) {
+	h := hashfn.Avalanche(k)
+	e := t.segment(h).findNode(h, k)
+	if e == nil {
+		return 0, false
+	}
+	return e.val.Load(), true
+}
+
+// Delete implements tables.Handle. The chain prefix is copied (Lea's
+// deletion) so concurrent lock-free readers keep a consistent view.
+func (t *LeaHash) Delete(k uint64) bool {
+	h := hashfn.Avalanche(k)
+	s := t.segment(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := *s.buckets.Load()
+	head := &b[h&uint64(len(b)-1)]
+	var prefix []*leaNode
+	e := head.Load()
+	for e != nil && e.key != k {
+		prefix = append(prefix, e)
+		e = e.next.Load()
+	}
+	if e == nil {
+		return false
+	}
+	// Rebuild the prefix on top of e.next.
+	tail := e.next.Load()
+	for i := len(prefix) - 1; i >= 0; i-- {
+		n := &leaNode{key: prefix[i].key}
+		n.val.Store(prefix[i].val.Load())
+		n.next.Store(tail)
+		tail = n
+	}
+	head.Store(tail)
+	s.count.Add(-1)
+	return true
+}
+
+func init() {
+	tables.Register(tables.Capabilities{
+		Name: "leahash", Plot: "H marker", StdInterface: "direct",
+		Growing: "per-segment rehash", AtomicUpdates: "locked", Deletion: true,
+		GeneralTypes: true, Reference: "Lea [16], segmented chaining, lock-free reads",
+	}, func(capacity uint64) tables.Interface { return NewLeaHash(capacity) })
+}

@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"sync"
+
+	"repro/internal/tables"
+)
+
+// MutexMap is a built-in Go map behind one RWMutex — the classic
+// general-purpose concurrent map, and the cautionary tale of the paper's
+// conclusion ("the simple decision to require a lock for reading can
+// decrease performance by almost four orders of magnitude").
+type MutexMap struct {
+	mu sync.RWMutex
+	m  map[uint64]uint64
+}
+
+// NewMutexMap builds the table with capacity hint.
+func NewMutexMap(capacity uint64) *MutexMap {
+	return &MutexMap{m: make(map[uint64]uint64, capacity)}
+}
+
+// Handle returns the table itself.
+func (t *MutexMap) Handle() tables.Handle { return direct(t) }
+
+// ApproxSize returns the exact size.
+func (t *MutexMap) ApproxSize() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return uint64(len(t.m))
+}
+
+// Range iterates elements.
+func (t *MutexMap) Range(f func(k, v uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for k, v := range t.m {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+var _ tables.Interface = (*MutexMap)(nil)
+var _ tables.Sizer = (*MutexMap)(nil)
+var _ tables.Ranger = (*MutexMap)(nil)
+
+// Insert implements tables.Handle.
+func (t *MutexMap) Insert(k, d uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[k]; ok {
+		return false
+	}
+	t.m[k] = d
+	return true
+}
+
+// Update implements tables.Handle.
+func (t *MutexMap) Update(k, d uint64, up tables.UpdateFn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.m[k]
+	if !ok {
+		return false
+	}
+	t.m[k] = up(cur, d)
+	return true
+}
+
+// InsertOrUpdate implements tables.Handle.
+func (t *MutexMap) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.m[k]; ok {
+		t.m[k] = up(cur, d)
+		return false
+	}
+	t.m[k] = d
+	return true
+}
+
+// Find implements tables.Handle.
+func (t *MutexMap) Find(k uint64) (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.m[k]
+	return v, ok
+}
+
+// Delete implements tables.Handle.
+func (t *MutexMap) Delete(k uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[k]; !ok {
+		return false
+	}
+	delete(t.m, k)
+	return true
+}
+
+func init() {
+	tables.Register(tables.Capabilities{
+		Name: "mutexmap", Plot: "extra (Go idiom)", StdInterface: "direct",
+		Growing: "yes", AtomicUpdates: "locked", Deletion: true,
+		GeneralTypes: true, Reference: "global RWMutex + builtin map",
+	}, func(capacity uint64) tables.Interface { return NewMutexMap(capacity) })
+}

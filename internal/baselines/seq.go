@@ -1,0 +1,216 @@
+package baselines
+
+import (
+	"math/bits"
+
+	"repro/internal/hashfn"
+	"repro/internal/tables"
+)
+
+// Seq is the hand-optimized *sequential* linear-probing table of §8.1.4,
+// used to compute the absolute speedups the paper reports. It uses no
+// atomic instructions at all and is NOT safe for concurrent use — exactly
+// like the paper's sequential baseline. It grows by doubling at 60% fill
+// and cleans tombstones during migration, mirroring the growing variants'
+// policy so growing overheads are comparable.
+type Seq struct {
+	keys     []uint64
+	vals     []uint64
+	dead     []bool
+	capacity uint64
+	shift    uint
+	nonempty uint64 // occupied cells incl. tombstones
+	liveN    uint64
+	bounded  bool
+}
+
+// NewSeq builds a growing sequential table.
+func NewSeq(initialCapacity uint64) *Seq {
+	s := &Seq{}
+	s.init(initialCapacity)
+	return s
+}
+
+// NewSeqBounded builds a fixed-capacity sequential table sized ≥2n.
+func NewSeqBounded(expected uint64) *Seq {
+	s := &Seq{bounded: true}
+	s.init(2 * expected)
+	return s
+}
+
+func (s *Seq) init(capacity uint64) {
+	if capacity < 8 {
+		capacity = 8
+	}
+	logCap := uint(bits.Len64(capacity - 1))
+	capacity = uint64(1) << logCap
+	s.keys = make([]uint64, capacity)
+	s.vals = make([]uint64, capacity)
+	s.dead = make([]bool, capacity)
+	s.capacity = capacity
+	s.shift = 64 - logCap
+	s.nonempty = 0
+	s.liveN = 0
+}
+
+// Handle returns the table itself (sequential use only).
+func (s *Seq) Handle() tables.Handle { return direct(s) }
+
+// ApproxSize returns the exact size (sequential tables count exactly).
+func (s *Seq) ApproxSize() uint64 { return s.liveN }
+
+// MemBytes reports backing memory.
+func (s *Seq) MemBytes() uint64 { return s.capacity * (8 + 8 + 1) }
+
+// Range iterates live elements.
+func (s *Seq) Range(f func(k, v uint64) bool) {
+	for i := uint64(0); i < s.capacity; i++ {
+		if s.keys[i] != 0 && !s.dead[i] {
+			if !f(s.keys[i], s.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+var _ tables.Interface = (*Seq)(nil)
+var _ tables.Sizer = (*Seq)(nil)
+var _ tables.Ranger = (*Seq)(nil)
+var _ tables.MemUser = (*Seq)(nil)
+var _ tables.Adder = (*Seq)(nil)
+
+func (s *Seq) maybeGrow() {
+	if s.nonempty*5 < s.capacity*3 {
+		return
+	}
+	if s.bounded {
+		panic("baselines: bounded sequential table full")
+	}
+	newCap := s.capacity * 2
+	if s.liveN < s.capacity/3 {
+		newCap = s.capacity // tombstone cleanup
+	}
+	ok, ov, od := s.keys, s.vals, s.dead
+	s.init(newCap)
+	for i := range ok {
+		if ok[i] != 0 && !od[i] {
+			s.place(ok[i], ov[i])
+		}
+	}
+}
+
+// place inserts k (known absent) without growth checks.
+func (s *Seq) place(k, v uint64) {
+	mask := s.capacity - 1
+	i := hashfn.Hash64(k) >> s.shift
+	for s.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.keys[i] = k
+	s.vals[i] = v
+	s.nonempty++
+	s.liveN++
+}
+
+// lookup returns the cell index of k, or the first empty cell, plus found.
+func (s *Seq) lookup(k uint64) (uint64, bool) {
+	mask := s.capacity - 1
+	i := hashfn.Hash64(k) >> s.shift
+	for {
+		if s.keys[i] == 0 {
+			return i, false
+		}
+		if s.keys[i] == k && !s.dead[i] {
+			return i, true
+		}
+		if s.keys[i] == k && s.dead[i] {
+			return i, false // tombstone owned by k: revivable slot
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Insert implements tables.Handle.
+func (s *Seq) Insert(k, d uint64) bool {
+	if k == 0 {
+		panic("baselines: key 0 reserved")
+	}
+	i, found := s.lookup(k)
+	if found {
+		return false
+	}
+	if s.keys[i] == k { // revive tombstone
+		s.dead[i] = false
+		s.vals[i] = d
+		s.liveN++
+		return true
+	}
+	s.keys[i] = k
+	s.vals[i] = d
+	s.nonempty++
+	s.liveN++
+	s.maybeGrow()
+	return true
+}
+
+// Update implements tables.Handle.
+func (s *Seq) Update(k, d uint64, up tables.UpdateFn) bool {
+	i, found := s.lookup(k)
+	if !found {
+		return false
+	}
+	s.vals[i] = up(s.vals[i], d)
+	return true
+}
+
+// InsertOrUpdate implements tables.Handle.
+func (s *Seq) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	i, found := s.lookup(k)
+	if found {
+		s.vals[i] = up(s.vals[i], d)
+		return false
+	}
+	if s.keys[i] == k {
+		s.dead[i] = false
+		s.vals[i] = d
+		s.liveN++
+		return true
+	}
+	s.keys[i] = k
+	s.vals[i] = d
+	s.nonempty++
+	s.liveN++
+	s.maybeGrow()
+	return true
+}
+
+// InsertOrAdd implements tables.Adder.
+func (s *Seq) InsertOrAdd(k, d uint64) bool { return s.InsertOrUpdate(k, d, tables.AddFn) }
+
+// Find implements tables.Handle.
+func (s *Seq) Find(k uint64) (uint64, bool) {
+	i, found := s.lookup(k)
+	if !found {
+		return 0, false
+	}
+	return s.vals[i], true
+}
+
+// Delete implements tables.Handle (tombstoning, reclaimed at migration).
+func (s *Seq) Delete(k uint64) bool {
+	i, found := s.lookup(k)
+	if !found {
+		return false
+	}
+	s.dead[i] = true
+	s.liveN--
+	return true
+}
+
+func init() {
+	tables.Register(tables.Capabilities{
+		Name: "seq", Plot: "dashed black line", StdInterface: "sequential only",
+		Growing: "yes", AtomicUpdates: "n/a (sequential)", Deletion: true,
+		GeneralTypes: false, Reference: "§8.1.4 hand-optimized sequential baseline",
+	}, func(capacity uint64) tables.Interface { return NewSeq(capacity) })
+}

@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"sync"
+
+	"repro/internal/tables"
+)
+
+// SyncMap wraps the standard library's sync.Map — the concurrent map a Go
+// downstream user reaches for first. Not a paper competitor but the
+// natural extra data point for a Go reproduction. Note its well-known
+// weakness on write-heavy workloads (it is optimized for read-mostly,
+// append-only key sets).
+//
+// Update/InsertOrUpdate are implemented with CompareAndSwap loops so
+// dependent updates (e.g. counting) are atomic, which many of the paper's
+// competitors cannot express (§8.4 "Aggregation").
+type SyncMap struct {
+	m sync.Map
+}
+
+// NewSyncMap builds the table (capacity hint unused; sync.Map cannot be
+// pre-sized).
+func NewSyncMap(uint64) *SyncMap { return &SyncMap{} }
+
+// Handle returns the table itself.
+func (t *SyncMap) Handle() tables.Handle { return direct(t) }
+
+// ApproxSize counts elements (O(n): sync.Map keeps no counter).
+func (t *SyncMap) ApproxSize() uint64 {
+	var n uint64
+	t.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// Range iterates elements.
+func (t *SyncMap) Range(f func(k, v uint64) bool) {
+	t.m.Range(func(k, v any) bool { return f(k.(uint64), v.(uint64)) })
+}
+
+var _ tables.Interface = (*SyncMap)(nil)
+var _ tables.Sizer = (*SyncMap)(nil)
+var _ tables.Ranger = (*SyncMap)(nil)
+
+// Insert implements tables.Handle.
+func (t *SyncMap) Insert(k, d uint64) bool {
+	_, loaded := t.m.LoadOrStore(k, d)
+	return !loaded
+}
+
+// Update implements tables.Handle.
+func (t *SyncMap) Update(k, d uint64, up tables.UpdateFn) bool {
+	for {
+		cur, ok := t.m.Load(k)
+		if !ok {
+			return false
+		}
+		if t.m.CompareAndSwap(k, cur, up(cur.(uint64), d)) {
+			return true
+		}
+	}
+}
+
+// InsertOrUpdate implements tables.Handle.
+func (t *SyncMap) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	for {
+		cur, loaded := t.m.LoadOrStore(k, d)
+		if !loaded {
+			return true
+		}
+		if t.m.CompareAndSwap(k, cur, up(cur.(uint64), d)) {
+			return false
+		}
+	}
+}
+
+// Find implements tables.Handle.
+func (t *SyncMap) Find(k uint64) (uint64, bool) {
+	v, ok := t.m.Load(k)
+	if !ok {
+		return 0, false
+	}
+	return v.(uint64), true
+}
+
+// Delete implements tables.Handle.
+func (t *SyncMap) Delete(k uint64) bool {
+	_, loaded := t.m.LoadAndDelete(k)
+	return loaded
+}
+
+func init() {
+	tables.Register(tables.Capabilities{
+		Name: "syncmap", Plot: "extra (Go idiom)", StdInterface: "direct",
+		Growing: "yes", AtomicUpdates: "CAS loop", Deletion: true,
+		GeneralTypes: true, Reference: "stdlib sync.Map",
+	}, func(capacity uint64) tables.Interface { return NewSyncMap(capacity) })
+}

@@ -1,0 +1,185 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§8). Each experiment follows the
+// paper's methodology (§8.3):
+//
+//   - keys are precomputed before timing starts, uniform keys with the
+//     64-bit Mersenne twister, skewed keys with a Zipf sampler;
+//   - work is dealt dynamically in blocks of 4096 operations through a
+//     shared atomic counter;
+//   - each data point is the average of Repeat runs;
+//   - speedups are absolute, against the hand-optimized sequential table.
+//
+// The same scenario functions back the growbench CLI and the testing.B
+// benchmarks in bench_test.go.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/tables"
+	"repro/internal/zipfgen"
+)
+
+// BlockOps is the work-dealing grain of §8.3.
+const BlockOps = 4096
+
+// Config parametrizes an experiment run.
+type Config struct {
+	N       uint64 // operations (the paper uses 10^8; scaled down by default)
+	Threads []int  // goroutine counts to sweep
+	Tables  []string
+	Skews   []float64 // Zipf exponents for the contention experiments
+	WPs     []int     // write percentages for the mix experiment
+	Repeat  int
+	Out     io.Writer
+}
+
+// Defaults fills unset fields.
+func (c *Config) Defaults() {
+	if c.N == 0 {
+		c.N = 1 << 20
+	}
+	if len(c.Threads) == 0 {
+		p := runtime.GOMAXPROCS(0)
+		c.Threads = []int{1, 2, 4, p * 2}
+		if p == 1 {
+			c.Threads = []int{1, 2, 4, 8}
+		}
+	}
+	if len(c.Skews) == 0 {
+		c.Skews = []float64{0.25, 0.5, 0.75, 0.85, 0.95, 1.05, 1.25, 1.5, 2.0}
+	}
+	if len(c.WPs) == 0 {
+		c.WPs = []int{10, 20, 30, 40, 50, 60, 70, 80}
+	}
+	if c.Repeat == 0 {
+		c.Repeat = 3
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+}
+
+// UniformKeys generates n keys uniformly from 1..2^62 with MT19937
+// (§8.3), deterministic per seed.
+func UniformKeys(n uint64, seed uint64) []uint64 {
+	m := rng.NewMT19937(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = m.Uint64()>>2 | 1 // nonzero, within every table's domain
+	}
+	return keys
+}
+
+// ZipfKeys generates n keys from a Zipf distribution over 1..universe
+// with exponent s (§8.3: universe 10^8, s sweeps 0.25..2).
+func ZipfKeys(n uint64, universe uint64, s float64, seed uint64) []uint64 {
+	z := zipfgen.New(universe, s, rng.NewSplitMix64(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = z.Next()
+	}
+	return keys
+}
+
+// run deals blocks of BlockOps indices in [0,total) to p goroutines; op
+// receives a per-goroutine handle index and the op index. Returns wall
+// time.
+func run(p int, total uint64, body func(worker int, lo, hi uint64)) time.Duration {
+	var cursor atomic.Uint64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			<-start
+			for {
+				lo := cursor.Add(BlockOps) - BlockOps
+				if lo >= total {
+					return
+				}
+				hi := lo + BlockOps
+				if hi > total {
+					hi = total
+				}
+				body(worker, lo, hi)
+			}
+		}(w)
+	}
+	begin := time.Now()
+	close(start)
+	wg.Wait()
+	return time.Since(begin)
+}
+
+// Result is one measured data point.
+type Result struct {
+	Exp     string
+	Table   string
+	Threads int
+	Param   float64 // skew s, write percentage, or capacity, per experiment
+	MOps    float64
+	Seconds float64
+	Extra   string
+}
+
+// header prints the result table header.
+func header(out io.Writer, exp, paramName string) {
+	fmt.Fprintf(out, "\n== %s ==\n%-16s %8s %10s %12s %10s  %s\n",
+		exp, "table", "threads", paramName, "MOps/s", "seconds", "notes")
+}
+
+func (r Result) print(out io.Writer, paramFmt string) {
+	fmt.Fprintf(out, "%-16s %8d %10s %12.2f %10.3f  %s\n",
+		r.Table, r.Threads, fmt.Sprintf(paramFmt, r.Param), r.MOps, r.Seconds, r.Extra)
+}
+
+// newTable builds a registered table, failing loudly on unknown names.
+func newTable(name string, capacity uint64) tables.Interface {
+	t := tables.New(name, capacity)
+	if t == nil {
+		panic(fmt.Sprintf("bench: unknown table %q", name))
+	}
+	return t
+}
+
+// closeTable releases pool resources if any.
+func closeTable(t tables.Interface) {
+	if c, ok := t.(tables.Closer); ok {
+		c.Close()
+	}
+}
+
+// handlesFor premakes one handle per worker (handles are goroutine
+// private, §5.1; premaking avoids measuring handle registration).
+func handlesFor(t tables.Interface, p int) []tables.Handle {
+	hs := make([]tables.Handle, p)
+	for i := range hs {
+		hs[i] = t.Handle()
+	}
+	return hs
+}
+
+// prefill inserts keys[0:n] sequentially through one handle.
+func prefill(t tables.Interface, keys []uint64) {
+	h := t.Handle()
+	for _, k := range keys {
+		h.Insert(k, k)
+	}
+}
+
+// avgSeconds runs f Repeat times and returns the average seconds.
+func avgSeconds(repeat int, f func() time.Duration) float64 {
+	var total time.Duration
+	for i := 0; i < repeat; i++ {
+		total += f()
+	}
+	return total.Seconds() / float64(repeat)
+}

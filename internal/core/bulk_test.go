@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildFolkloreBasic(t *testing.T) {
+	elems := make([]KV, 10000)
+	for i := range elems {
+		elems[i] = KV{Key: uint64(i) + 1, Val: uint64(i) * 3}
+	}
+	f := BuildFolklore(elems, 4)
+	h := f.Handle()
+	for _, e := range elems {
+		if v, ok := h.Find(e.Key); !ok || v != e.Val {
+			t.Fatalf("key %d: got %d,%v want %d", e.Key, v, ok, e.Val)
+		}
+	}
+	if f.ApproxSize() != 10000 {
+		t.Fatalf("size %d", f.ApproxSize())
+	}
+}
+
+func TestBuildFolkloreDuplicatesFirstWins(t *testing.T) {
+	elems := []KV{{1, 10}, {2, 20}, {1, 99}, {3, 30}, {2, 88}}
+	f := BuildFolklore(elems, 2)
+	h := f.Handle()
+	for k, want := range map[uint64]uint64{1: 10, 2: 20, 3: 30} {
+		if v, _ := h.Find(k); v != want {
+			t.Fatalf("key %d: %d want %d (first occurrence must win)", k, v, want)
+		}
+	}
+	if f.ApproxSize() != 3 {
+		t.Fatalf("size %d", f.ApproxSize())
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	f := BuildFolklore(nil, 4)
+	if f.ApproxSize() != 0 {
+		t.Fatal("empty build")
+	}
+	f = BuildFolklore([]KV{{5, 50}}, 8)
+	if v, ok := f.Handle().Find(5); !ok || v != 50 {
+		t.Fatal("tiny build")
+	}
+}
+
+// TestBuildMatchesIncremental: bulk construction must produce exactly the
+// table contents that element-wise insertion would.
+func TestBuildMatchesIncremental(t *testing.T) {
+	f := func(rawKeys []uint16, pByte uint8) bool {
+		p := int(pByte)%8 + 1
+		elems := make([]KV, len(rawKeys))
+		for i, rk := range rawKeys {
+			elems[i] = KV{Key: uint64(rk) + 1, Val: uint64(i) + 1}
+		}
+		bulk := BuildFolklore(elems, p)
+		incr := NewFolklore(uint64(len(elems)) + 1)
+		hi := incr.Handle()
+		for _, e := range elems {
+			hi.Insert(e.Key, e.Val)
+		}
+		got := map[uint64]uint64{}
+		bulk.Range(func(k, v uint64) bool { got[k] = v; return true })
+		want := map[uint64]uint64{}
+		incr.Range(func(k, v uint64) bool { want[k] = v; return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildProbeInvariant: every bulk-placed element must be findable
+// (the two-phase placement must not break probe chains), including under
+// heavy duplicate pressure and random keys.
+func TestBuildProbeInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	elems := make([]KV, 50000)
+	for i := range elems {
+		elems[i] = KV{Key: uint64(r.Intn(30000)) + 1, Val: uint64(i) + 1}
+	}
+	f := BuildFolklore(elems, 8)
+	h := f.Handle()
+	seen := map[uint64]bool{}
+	for _, e := range elems {
+		if _, ok := h.Find(e.Key); !ok {
+			t.Fatalf("key %d unreachable after bulk build", e.Key)
+		}
+		seen[e.Key] = true
+	}
+	if f.ApproxSize() != uint64(len(seen)) {
+		t.Fatalf("size %d want %d", f.ApproxSize(), len(seen))
+	}
+}
+
+func TestBuildGrowThenGrow(t *testing.T) {
+	elems := make([]KV, 5000)
+	for i := range elems {
+		elems[i] = KV{Key: uint64(i) + 1, Val: uint64(i)}
+	}
+	g := BuildGrow(UA, elems, 4)
+	defer g.Close()
+	h := g.Handle()
+	// The built table must keep working through subsequent growth.
+	for k := uint64(5001); k <= 40000; k++ {
+		if !h.Insert(k, k) {
+			t.Fatalf("post-build insert %d", k)
+		}
+	}
+	for k := uint64(1); k <= 40000; k += 111 {
+		want := k
+		if k <= 5000 {
+			want = k - 1
+		}
+		if v, ok := h.Find(k); !ok || v != want {
+			t.Fatalf("key %d after growth: %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestForAll(t *testing.T) {
+	elems := make([]KV, 20000)
+	for i := range elems {
+		elems[i] = KV{Key: uint64(i) + 1, Val: 1}
+	}
+	f := BuildFolklore(elems, 4)
+	var count, sum atomic.Uint64
+	f.ForAll(8, func(k, v uint64) {
+		count.Add(1)
+		sum.Add(v)
+	})
+	if count.Load() != 20000 || sum.Load() != 20000 {
+		t.Fatalf("forall visited %d sum %d", count.Load(), sum.Load())
+	}
+	g := BuildGrow(US, elems, 4)
+	defer g.Close()
+	count.Store(0)
+	g.ForAll(3, func(k, v uint64) { count.Add(1) })
+	if count.Load() != 20000 {
+		t.Fatalf("grow forall visited %d", count.Load())
+	}
+}

@@ -1,0 +1,447 @@
+// Package core implements the paper's primary contribution: the folklore
+// bounded lock-free linear-probing hash table (§4) and its generalization
+// to adaptively sized tables via scalable cluster migration (§5), in the
+// four strategy combinations uaGrow / usGrow / paGrow / psGrow (§7), plus
+// the transaction-assisted tsxfolklore variant (§6).
+//
+// # Cell protocol
+//
+// The paper's C++ implementation manipulates a 128-bit ⟨key,value⟩ cell
+// with cmpxchg16b. Go has no 128-bit CAS, so cells here are two adjacent
+// uint64 words with a split-word protocol (cf. §2's remark that the table
+// can be ported to machines without wide CAS by reserving special values):
+//
+//	key word:   [63: pending][62..0: key]      (0 = empty cell)
+//	value word: [63: marked][62: live][61..0: value]
+//
+// The key word is written at most twice, by the unique claiming inserter:
+// CAS(0 → key|pending), then Store(key) after the value is published. It
+// never changes afterwards, so all post-insert mutation — updates,
+// deletions (clearing the live bit), and migration marking — happens on
+// the single value word with ordinary 64-bit CAS. This gives the same
+// linearization structure as the paper's wide-CAS cells with no cross-word
+// write races. Probe chains treat any published key as occupying its cell
+// (a dead cell — live bit clear — is the paper's tombstone and is scanned
+// over, §5.4); re-inserting a key that owns a tombstone revives the cell
+// in place with a value CAS.
+//
+// Keys are therefore 63-bit (0 reserved) and values 62-bit; the FullKeys
+// wrapper (fullkeys.go) restores the complete 64-bit key space with the
+// two-subtable construction of §5.6.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/hashfn"
+)
+
+const (
+	pendingBit = uint64(1) << 63
+	keyMask    = pendingBit - 1
+
+	markedBit = uint64(1) << 63
+	liveBit   = uint64(1) << 62
+	valueMask = liveBit - 1
+
+	// MaxKey is the largest key storable without the FullKeys wrapper
+	// (keyMask itself is the reserved frozen-cell sentinel, migrate.go).
+	MaxKey = keyMask - 1
+	// MaxValue is the largest storable value.
+	MaxValue = valueMask
+)
+
+// opStatus is the outcome of a low-level cell operation.
+type opStatus uint8
+
+const (
+	statusInserted opStatus = iota // new element written
+	statusUpdated                  // existing element changed
+	statusPresent                  // insert refused: key already live
+	statusAbsent                   // update/delete/find refused: key not live
+	statusMarked                   // hit a marked cell: help migration, retry in new table
+	statusFull                     // probe limit exceeded: table (locally) full
+)
+
+// longProbeLimit bounds the probe distance before an insert reports the
+// table full. The paper sizes the folklore table to ≥2n so expected probe
+// distances stay O(1); hitting this limit either signals a mis-sized
+// bounded table or triggers a migration in the growing variants.
+const longProbeLimit = 4096
+
+// Table is one bounded, fixed-capacity folklore table generation. The
+// growing variants chain generations through migrations; the Folklore
+// wrapper uses a single generation forever.
+type Table struct {
+	cells    []uint64 // interleaved: cells[2i] key word, cells[2i+1] value word
+	capacity uint64
+	shift    uint // index = hash >> shift (scaled mapping, §5.3.1)
+	logCap   uint
+	probeCap uint64 // min(capacity, longProbeLimit)
+}
+
+// NewTable allocates a zeroed generation with capacity rounded up to a
+// power of two (§7 restricts capacities to powers of two so the modulo
+// becomes a shift).
+func NewTable(capacity uint64) *Table {
+	if capacity < 8 {
+		capacity = 8
+	}
+	logCap := uint(bits.Len64(capacity - 1))
+	capacity = uint64(1) << logCap
+	t := &Table{
+		cells:    make([]uint64, 2*capacity),
+		capacity: capacity,
+		shift:    64 - logCap,
+		logCap:   logCap,
+		probeCap: min(capacity, longProbeLimit),
+	}
+	return t
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Capacity returns the number of cells.
+func (t *Table) Capacity() uint64 { return t.capacity }
+
+// MemBytes returns the size of the backing array.
+func (t *Table) MemBytes() uint64 { return uint64(len(t.cells)) * 8 }
+
+// index maps a hash to its home cell using the high bits, preserving the
+// order required by the cluster migration lemma (Lemma 1).
+func (t *Table) index(h uint64) uint64 { return h >> t.shift }
+
+func (t *Table) loadKey(i uint64) uint64 { return atomic.LoadUint64(&t.cells[2*i]) }
+func (t *Table) loadVal(i uint64) uint64 { return atomic.LoadUint64(&t.cells[2*i+1]) }
+func (t *Table) storeKey(i, k uint64)    { atomic.StoreUint64(&t.cells[2*i], k) }
+func (t *Table) storeVal(i, v uint64)    { atomic.StoreUint64(&t.cells[2*i+1], v) }
+func (t *Table) casKey(i, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.cells[2*i], old, new)
+}
+func (t *Table) casVal(i, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.cells[2*i+1], old, new)
+}
+func (t *Table) addVal(i, d uint64) uint64 { return atomic.AddUint64(&t.cells[2*i+1], d) }
+
+// waitKey spins until the cell's key word is no longer pending and
+// returns it. The pending window is two store instructions wide; Gosched
+// keeps the spin polite if the claiming goroutine was preempted.
+func (t *Table) waitKey(i uint64) uint64 {
+	for spins := 0; ; spins++ {
+		kw := t.loadKey(i)
+		if kw&pendingBit == 0 {
+			return kw
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// checkKey panics on keys outside the 63-bit core domain. The public
+// wrappers either document the restriction or lift it (§5.6).
+func checkKey(k uint64) {
+	if k == 0 || k > MaxKey {
+		panic(fmt.Sprintf("core: key %#x outside the core domain 1..2^63-1; use the FullKeys wrapper (§5.6)", k))
+	}
+}
+
+func checkValue(v uint64) {
+	if v > MaxValue {
+		panic(fmt.Sprintf("core: value %#x exceeds 62 bits", v))
+	}
+}
+
+// insertCore attempts to insert ⟨k,d⟩. Precondition: checkKey/checkValue.
+func (t *Table) insertCore(k, d uint64) opStatus {
+	h := hashfn.Hash64(k)
+	i := t.index(h)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			if t.casKey(i, 0, k|pendingBit) {
+				// Publish the value, then the key. The CAS fails only if a
+				// migrator marked this empty cell first.
+				if t.casVal(i, 0, d|liveBit) {
+					t.storeKey(i, k)
+					return statusInserted
+				}
+				// Marked mid-claim: publish the key as a dead cell so that
+				// probers never spin on our pending bit, then retry in the
+				// next generation (the marked dead cell migrates to nothing).
+				t.storeKey(i, k)
+				return statusMarked
+			}
+			// Lost the claim race: re-examine this same cell (Alg. 1, i--).
+			kw = t.loadKey(i)
+		}
+		if kw&pendingBit != 0 {
+			if kw&keyMask != k {
+				// Foreign in-flight insert occupies the cell; move on.
+				i = (i + 1) & mask
+				continue
+			}
+			kw = t.waitKey(i)
+		}
+		if kw == k {
+			for {
+				v := t.loadVal(i)
+				if v&markedBit != 0 {
+					return statusMarked
+				}
+				if v&liveBit != 0 {
+					return statusPresent
+				}
+				// Tombstone owned by k: revive in place.
+				if t.casVal(i, v, d|liveBit) {
+					return statusInserted
+				}
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return statusFull
+}
+
+// updateCore applies up to the element with key k.
+func (t *Table) updateCore(k, d uint64, up func(cur, d uint64) uint64) opStatus {
+	h := hashfn.Hash64(k)
+	i := t.index(h)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			return statusAbsent
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				// In-flight insert of k: linearize this update before it.
+				return statusAbsent
+			}
+			for {
+				v := t.loadVal(i)
+				if v&markedBit != 0 {
+					return statusMarked
+				}
+				if v&liveBit == 0 {
+					return statusAbsent
+				}
+				nv := up(v&valueMask, d)&valueMask | liveBit
+				if t.casVal(i, v, nv) {
+					return statusUpdated
+				}
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return statusAbsent
+}
+
+// insertOrUpdateCore implements Algorithm 1 of the paper.
+func (t *Table) insertOrUpdateCore(k, d uint64, up func(cur, d uint64) uint64) opStatus {
+	h := hashfn.Hash64(k)
+	i := t.index(h)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			if t.casKey(i, 0, k|pendingBit) {
+				if t.casVal(i, 0, d|liveBit) {
+					t.storeKey(i, k)
+					return statusInserted
+				}
+				t.storeKey(i, k)
+				return statusMarked
+			}
+			kw = t.loadKey(i)
+		}
+		if kw&pendingBit != 0 {
+			if kw&keyMask != k {
+				i = (i + 1) & mask
+				continue
+			}
+			// Concurrent insert of the same key: our update must apply to
+			// it (insertOrUpdate cannot fail), so wait for publication.
+			kw = t.waitKey(i)
+		}
+		if kw == k {
+			for {
+				v := t.loadVal(i)
+				if v&markedBit != 0 {
+					return statusMarked
+				}
+				if v&liveBit == 0 {
+					if t.casVal(i, v, d|liveBit) {
+						return statusInserted
+					}
+					continue
+				}
+				nv := up(v&valueMask, d)&valueMask | liveBit
+				if t.casVal(i, v, nv) {
+					return statusUpdated
+				}
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return statusFull
+}
+
+// insertOrAddCore is the fetch-and-add specialization of insertOrUpdate
+// used by the synchronized variants (usGrow/psGrow), mirroring the
+// paper's partial template specialization of atomicUpdate (§4). It must
+// only be called when migration marking cannot run concurrently.
+func (t *Table) insertOrAddCore(k, d uint64) opStatus {
+	h := hashfn.Hash64(k)
+	i := t.index(h)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			if t.casKey(i, 0, k|pendingBit) {
+				if t.casVal(i, 0, d|liveBit) {
+					t.storeKey(i, k)
+					return statusInserted
+				}
+				t.storeKey(i, k)
+				return statusMarked
+			}
+			kw = t.loadKey(i)
+		}
+		if kw&pendingBit != 0 {
+			if kw&keyMask != k {
+				i = (i + 1) & mask
+				continue
+			}
+			kw = t.waitKey(i)
+		}
+		if kw == k {
+			for {
+				v := t.loadVal(i)
+				if v&liveBit == 0 {
+					if v&markedBit != 0 {
+						return statusMarked
+					}
+					if t.casVal(i, v, d|liveBit) {
+						return statusInserted
+					}
+					continue
+				}
+				// Live: unconditional fetch-and-add on the value word. A
+				// racing delete can clear the live bit first; the result
+				// tells us and we compensate by retrying on the dead cell.
+				nv := t.addVal(i, d)
+				if nv&liveBit != 0 {
+					return statusUpdated
+				}
+				// Our addend landed in a tombstone; it is invisible (dead
+				// cells' value bits are ignored). Retry the revive path.
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return statusFull
+}
+
+// findCore looks up k. Wait-free: never spins, never writes. Marked cells
+// remain readable during migration (§5.3.2).
+func (t *Table) findCore(k uint64) (uint64, bool) {
+	h := hashfn.Hash64(k)
+	i := t.index(h)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			return 0, false
+		}
+		if kw == k { // pending bit clear and key match
+			v := t.loadVal(i)
+			if v&liveBit == 0 {
+				return 0, false
+			}
+			return v & valueMask, true
+		}
+		if kw&keyMask == k {
+			// Pending insert of k: linearize the find before it.
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+	return 0, false
+}
+
+// deleteCore tombstones k (§5.4): the key word stays, the live bit is
+// cleared, probe chains scan over the dead cell.
+func (t *Table) deleteCore(k uint64) opStatus {
+	h := hashfn.Hash64(k)
+	i := t.index(h)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			return statusAbsent
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				// Linearize before the in-flight insert.
+				return statusAbsent
+			}
+			for {
+				v := t.loadVal(i)
+				if v&markedBit != 0 {
+					return statusMarked
+				}
+				if v&liveBit == 0 {
+					return statusAbsent
+				}
+				if t.casVal(i, v, v&^liveBit) {
+					return statusUpdated
+				}
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return statusAbsent
+}
+
+// rangeCore calls f on every live element; quiescent use only.
+func (t *Table) rangeCore(f func(k, v uint64) bool) {
+	for i := uint64(0); i < t.capacity; i++ {
+		kw := t.loadKey(i)
+		if kw == 0 || kw&pendingBit != 0 {
+			continue
+		}
+		v := t.loadVal(i)
+		if v&liveBit == 0 {
+			continue
+		}
+		if !f(kw, v&valueMask) {
+			return
+		}
+	}
+}
+
+// countLive scans the table counting live elements (exact size in absence
+// of concurrent modification, §5.2's exact-count extension).
+func (t *Table) countLive() uint64 {
+	var n uint64
+	for i := uint64(0); i < t.capacity; i++ {
+		kw := t.loadKey(i)
+		if kw == 0 || kw&pendingBit != 0 {
+			continue
+		}
+		if t.loadVal(i)&liveBit != 0 {
+			n++
+		}
+	}
+	return n
+}

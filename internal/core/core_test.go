@@ -1,0 +1,850 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tables"
+)
+
+func allStrategies() []Strategy { return []Strategy{UA, US, PA, PS} }
+
+func newGrowSmall(s Strategy) *Grow { return NewGrow(s, 64) }
+
+// --- Folklore basics ---
+
+func TestFolkloreInsertFind(t *testing.T) {
+	f := NewFolklore(1000)
+	h := f.Handle()
+	for k := uint64(1); k <= 1000; k++ {
+		if !h.Insert(k, k*3) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		v, ok := h.Find(k)
+		if !ok || v != k*3 {
+			t.Fatalf("find %d: got %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := h.Find(5000); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestFolkloreDuplicateInsert(t *testing.T) {
+	f := NewFolklore(100)
+	h := f.Handle()
+	if !h.Insert(7, 1) || h.Insert(7, 2) {
+		t.Fatal("duplicate insert must fail")
+	}
+	if v, _ := h.Find(7); v != 1 {
+		t.Fatal("duplicate insert must not overwrite")
+	}
+}
+
+func TestFolkloreUpdate(t *testing.T) {
+	f := NewFolklore(100)
+	h := f.Handle()
+	if h.Update(3, 9, tables.Overwrite) {
+		t.Fatal("update of absent key must fail")
+	}
+	h.Insert(3, 1)
+	if !h.Update(3, 9, tables.Overwrite) {
+		t.Fatal("update failed")
+	}
+	if v, _ := h.Find(3); v != 9 {
+		t.Fatalf("got %d", v)
+	}
+	h.Update(3, 5, tables.AddFn)
+	if v, _ := h.Find(3); v != 14 {
+		t.Fatalf("AddFn: got %d", v)
+	}
+}
+
+func TestFolkloreInsertOrUpdate(t *testing.T) {
+	f := NewFolklore(100)
+	h := f.Handle()
+	if !h.InsertOrUpdate(5, 10, tables.AddFn) {
+		t.Fatal("first insertOrUpdate must report insert")
+	}
+	if h.InsertOrUpdate(5, 10, tables.AddFn) {
+		t.Fatal("second insertOrUpdate must report update")
+	}
+	if v, _ := h.Find(5); v != 20 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestFolkloreInsertOrAdd(t *testing.T) {
+	f := NewFolklore(100)
+	h := f.Handle().(*folkloreHandle)
+	if !h.InsertOrAdd(5, 7) || h.InsertOrAdd(5, 3) {
+		t.Fatal("InsertOrAdd insert/update reporting wrong")
+	}
+	if v, _ := h.Find(5); v != 10 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestFolkloreDelete(t *testing.T) {
+	f := NewFolklore(100)
+	h := f.Handle()
+	h.Insert(1, 10)
+	h.Insert(2, 20)
+	if !h.Delete(1) {
+		t.Fatal("delete failed")
+	}
+	if h.Delete(1) {
+		t.Fatal("double delete must fail")
+	}
+	if _, ok := h.Find(1); ok {
+		t.Fatal("deleted key still found")
+	}
+	if v, ok := h.Find(2); !ok || v != 20 {
+		t.Fatal("unrelated key damaged by delete")
+	}
+	// Tombstone revival: re-insert the same key.
+	if !h.Insert(1, 11) {
+		t.Fatal("re-insert after delete failed")
+	}
+	if v, _ := h.Find(1); v != 11 {
+		t.Fatal("revived value wrong")
+	}
+}
+
+func TestFolkloreUpdateAfterDelete(t *testing.T) {
+	f := NewFolklore(100)
+	h := f.Handle()
+	h.Insert(1, 10)
+	h.Delete(1)
+	if h.Update(1, 5, tables.Overwrite) {
+		t.Fatal("update of tombstoned key must fail")
+	}
+	if !h.InsertOrUpdate(1, 5, tables.AddFn) {
+		t.Fatal("insertOrUpdate on tombstone must insert (revive)")
+	}
+	if v, _ := h.Find(1); v != 5 {
+		t.Fatal("revive value wrong")
+	}
+}
+
+func TestFolkloreRangeAndSize(t *testing.T) {
+	f := NewFolklore(1000)
+	h := f.Handle()
+	for k := uint64(1); k <= 500; k++ {
+		h.Insert(k, k)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		h.Delete(k)
+	}
+	var n uint64
+	f.Range(func(k, v uint64) bool {
+		if k != v || k <= 100 || k > 500 {
+			t.Fatalf("range produced unexpected element %d=%d", k, v)
+		}
+		n++
+		return true
+	})
+	if n != 400 {
+		t.Fatalf("range visited %d elements, want 400", n)
+	}
+	if got := f.t.countLive(); got != 400 {
+		t.Fatalf("countLive %d", got)
+	}
+}
+
+func TestFolkloreRangeEarlyStop(t *testing.T) {
+	f := NewFolklore(100)
+	h := f.Handle()
+	for k := uint64(1); k <= 50; k++ {
+		h.Insert(k, k)
+	}
+	n := 0
+	f.Range(func(k, v uint64) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestFolkloreFullPanics(t *testing.T) {
+	f := NewFolkloreExact(8)
+	h := f.Handle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when bounded table overflows")
+		}
+	}()
+	for k := uint64(1); k <= 100; k++ {
+		h.Insert(k, k)
+	}
+}
+
+func TestKeyDomainChecks(t *testing.T) {
+	f := NewFolklore(10)
+	h := f.Handle()
+	for _, bad := range []uint64{0, frozenKey, frozenKey + 1, ^uint64(0)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("key %#x must panic", bad)
+				}
+			}()
+			h.Insert(bad, 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized value must panic")
+			}
+		}()
+		h.Insert(1, MaxValue+1)
+	}()
+	// Boundary legal values.
+	if !h.Insert(MaxKey, MaxValue) {
+		t.Fatal("max key/value must be storable")
+	}
+	if v, ok := h.Find(MaxKey); !ok || v != MaxValue {
+		t.Fatal("max key/value roundtrip failed")
+	}
+}
+
+// --- Differential property test vs a model map ---
+
+type opSeq struct {
+	Ops []modelOp
+}
+
+type modelOp struct {
+	Kind uint8 // 0 insert, 1 update, 2 insertOrUpdate, 3 find, 4 delete
+	Key  uint16
+	Val  uint16
+}
+
+func runDifferential(t *testing.T, h tables.Handle, ops []modelOp) {
+	t.Helper()
+	model := map[uint64]uint64{}
+	for i, op := range ops {
+		k := uint64(op.Key)%512 + 1
+		v := uint64(op.Val) + 1
+		switch op.Kind % 5 {
+		case 0:
+			_, present := model[k]
+			if got := h.Insert(k, v); got == present {
+				t.Fatalf("op %d: insert(%d) returned %v, model present=%v", i, k, got, present)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			_, present := model[k]
+			if got := h.Update(k, v, tables.AddFn); got != present {
+				t.Fatalf("op %d: update(%d) returned %v, model present=%v", i, k, got, present)
+			}
+			if present {
+				model[k] += v
+			}
+		case 2:
+			_, present := model[k]
+			if got := h.InsertOrUpdate(k, v, tables.AddFn); got == present {
+				t.Fatalf("op %d: insertOrUpdate(%d) returned %v, present=%v", i, k, got, present)
+			}
+			if present {
+				model[k] += v
+			} else {
+				model[k] = v
+			}
+		case 3:
+			want, present := model[k]
+			got, ok := h.Find(k)
+			if ok != present || (ok && got != want) {
+				t.Fatalf("op %d: find(%d)=(%d,%v), model (%d,%v)", i, k, got, ok, want, present)
+			}
+		case 4:
+			_, present := model[k]
+			if got := h.Delete(k); got != present {
+				t.Fatalf("op %d: delete(%d) returned %v, present=%v", i, k, got, present)
+			}
+			delete(model, k)
+		}
+	}
+	// Final sweep.
+	for k, want := range model {
+		if got, ok := h.Find(k); !ok || got != want {
+			t.Fatalf("final: find(%d)=(%d,%v), want %d", k, got, ok, want)
+		}
+	}
+}
+
+func TestQuickFolkloreMatchesModel(t *testing.T) {
+	f := func(ops []modelOp) bool {
+		fl := NewFolklore(2048)
+		runDifferential(t, fl.Handle(), ops)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGrowMatchesModel(t *testing.T) {
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			f := func(ops []modelOp) bool {
+				g := newGrowSmall(s)
+				defer g.Close()
+				runDifferential(t, g.Handle(), ops)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// --- Growing across migrations (sequential) ---
+
+func TestGrowManyInsertsAllStrategies(t *testing.T) {
+	const n = 50000
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := newGrowSmall(s) // forces many doublings from 64 cells
+			defer g.Close()
+			h := g.Handle()
+			for k := uint64(1); k <= n; k++ {
+				if !h.Insert(k, k^0xABCD) {
+					t.Fatalf("insert %d failed", k)
+				}
+			}
+			if g.Capacity() < n {
+				t.Fatalf("table did not grow: cap %d", g.Capacity())
+			}
+			for k := uint64(1); k <= n; k++ {
+				v, ok := h.Find(k)
+				if !ok || v != k^0xABCD {
+					t.Fatalf("find %d after growth: %d,%v", k, v, ok)
+				}
+			}
+			// Size estimate within the paper's O(p²) bound — here sequential,
+			// so within one flush span.
+			if sz := g.ApproxSize(); sz+2*flushSpan < n || sz > n+2*flushSpan {
+				t.Fatalf("approx size %d far from %d", sz, n)
+			}
+		})
+	}
+}
+
+func TestGrowDeleteCleanup(t *testing.T) {
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := NewGrow(s, 1<<14)
+			defer g.Close()
+			h := g.Handle()
+			// Alternating insert+delete with a sliding window (the Fig. 6
+			// workload shape): table must reclaim tombstones via cleanup
+			// migrations instead of overflowing.
+			const window = 1 << 12
+			const total = 1 << 16
+			for k := uint64(1); k <= total; k++ {
+				if !h.Insert(k, k) {
+					t.Fatalf("insert %d failed", k)
+				}
+				if k > window {
+					if !h.Delete(k - window) {
+						t.Fatalf("delete %d failed", k-window)
+					}
+				}
+			}
+			// Capacity must stay bounded near the window size, far below
+			// the total insert count (tombstones were reclaimed).
+			if g.Capacity() >= total {
+				t.Fatalf("tombstones not reclaimed: cap %d after %d inserts of window %d",
+					g.Capacity(), total, window)
+			}
+			for k := uint64(total - window + 1); k <= total; k++ {
+				if v, ok := h.Find(k); !ok || v != k {
+					t.Fatalf("window element %d missing", k)
+				}
+			}
+			if _, ok := h.Find(1); ok {
+				t.Fatal("deleted element resurrected")
+			}
+		})
+	}
+}
+
+func TestShrinkToFit(t *testing.T) {
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := NewGrow(s, 64)
+			defer g.Close()
+			h := g.Handle()
+			const n = 1 << 15
+			for k := uint64(1); k <= n; k++ {
+				h.Insert(k, k)
+			}
+			for k := uint64(1); k <= n; k++ {
+				if k%64 != 0 {
+					h.Delete(k)
+				}
+			}
+			before := g.Capacity()
+			g.ShrinkToFit()
+			after := g.Capacity()
+			if after >= before {
+				t.Fatalf("shrink did not reduce capacity: %d -> %d", before, after)
+			}
+			for k := uint64(64); k <= n; k += 64 {
+				if v, ok := h.Find(k); !ok || v != k {
+					t.Fatalf("survivor %d lost in shrink", k)
+				}
+			}
+			if _, ok := h.Find(1); ok {
+				t.Fatal("deleted key present after shrink")
+			}
+		})
+	}
+}
+
+// --- Concurrency ---
+
+// TestConcurrentUniqueInsert: p goroutines race to insert the same keys;
+// exactly one insert per key must succeed (the §4 contract).
+func TestConcurrentUniqueInsert(t *testing.T) {
+	const goroutines = 8
+	const keys = 20000
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := newGrowSmall(s)
+			defer g.Close()
+			var wins [goroutines]uint64
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := g.Handle()
+					for k := uint64(1); k <= keys; k++ {
+						if h.Insert(k, uint64(id)+1) {
+							wins[id]++
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			var total uint64
+			for _, w := range wins {
+				total += w
+			}
+			if total != keys {
+				t.Fatalf("insert successes %d, want exactly %d", total, keys)
+			}
+			h := g.Handle()
+			for k := uint64(1); k <= keys; k++ {
+				if v, ok := h.Find(k); !ok || v < 1 || v > goroutines {
+					t.Fatalf("key %d: value %d ok=%v", k, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAggregation: insert-or-increment from many goroutines
+// must lose no updates (Fig. 5 semantics), across migrations.
+func TestConcurrentAggregation(t *testing.T) {
+	const goroutines = 8
+	const perG = 30000
+	const keys = 512
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := newGrowSmall(s)
+			defer g.Close()
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := g.Handle().(*growHandle)
+					r := rand.New(rand.NewSource(int64(id)))
+					for j := 0; j < perG; j++ {
+						k := uint64(r.Intn(keys)) + 1
+						h.InsertOrAdd(k, 1)
+					}
+				}(i)
+			}
+			wg.Wait()
+			h := g.Handle()
+			var sum uint64
+			for k := uint64(1); k <= keys; k++ {
+				v, _ := h.Find(k)
+				sum += v
+			}
+			if sum != goroutines*perG {
+				t.Fatalf("lost updates: sum %d want %d", sum, goroutines*perG)
+			}
+		})
+	}
+}
+
+// TestConcurrentInsertFindPublication: finders must never observe a torn
+// or unpublished value; values are derived from keys so any mismatch is
+// detectable.
+func TestConcurrentInsertFindPublication(t *testing.T) {
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := newGrowSmall(s)
+			defer g.Close()
+			const keys = 30000
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					h := g.Handle()
+					r := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := uint64(r.Intn(keys)) + 1
+						if v, ok := h.Find(k); ok && v != k*2+1 {
+							panic("torn read: wrong value observed")
+						}
+					}
+				}(int64(i))
+			}
+			h := g.Handle()
+			for k := uint64(1); k <= keys; k++ {
+				h.Insert(k, k*2+1)
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestConcurrentDeleteInsert: concurrent alternating insert/delete on a
+// sliding window from several goroutines with disjoint key ranges.
+func TestConcurrentDeleteInsert(t *testing.T) {
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := NewGrow(s, 1<<12)
+			defer g.Close()
+			const goroutines = 4
+			const perG = 40000
+			const window = 1024
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func(id uint64) {
+					defer wg.Done()
+					h := g.Handle()
+					base := id * 10_000_000
+					for j := uint64(1); j <= perG; j++ {
+						if !h.Insert(base+j, j) {
+							panic("insert failed")
+						}
+						if j > window {
+							if !h.Delete(base + j - window) {
+								panic("delete failed")
+							}
+						}
+					}
+				}(uint64(i))
+			}
+			wg.Wait()
+			h := g.Handle()
+			for i := uint64(0); i < goroutines; i++ {
+				base := i * 10_000_000
+				for j := uint64(perG - window + 1); j <= perG; j++ {
+					if v, ok := h.Find(base + j); !ok || v != j {
+						t.Fatalf("goroutine %d window key %d missing", i, j)
+					}
+				}
+				if _, ok := h.Find(base + 1); ok {
+					t.Fatalf("goroutine %d deleted key present", i)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentMixedChaos exercises every operation at once under
+// forced migrations and validates per-key invariants: each key's value is
+// always one of the values some goroutine could legally have written.
+func TestConcurrentMixedChaos(t *testing.T) {
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := newGrowSmall(s)
+			defer g.Close()
+			const keys = 256
+			var wg sync.WaitGroup
+			for i := 0; i < 6; i++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					h := g.Handle()
+					r := rand.New(rand.NewSource(seed))
+					for j := 0; j < 20000; j++ {
+						k := uint64(r.Intn(keys)) + 1
+						switch r.Intn(5) {
+						case 0:
+							h.Insert(k, k*1000)
+						case 1:
+							h.Update(k, k*1000, tables.Overwrite)
+						case 2:
+							h.InsertOrUpdate(k, k*1000, tables.Overwrite)
+						case 3:
+							if v, ok := h.Find(k); ok && v != k*1000 {
+								panic("invariant violated: foreign value")
+							}
+						case 4:
+							h.Delete(k)
+						}
+					}
+				}(int64(i * 31))
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// --- Approximate counting ---
+
+func TestApproxCountErrorBound(t *testing.T) {
+	g := NewGrow(UA, 1<<16)
+	defer g.Close()
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			h := g.Handle()
+			for j := uint64(1); j <= perG; j++ {
+				h.Insert(base+j, j)
+			}
+		}(uint64(i) * 1_000_000)
+	}
+	wg.Wait()
+	exact := uint64(goroutines * perG)
+	approx := g.ApproxSize()
+	slack := uint64(goroutines * flushSpan)
+	if approx > exact || approx+slack < exact {
+		t.Fatalf("approx %d outside [%d-%d, %d]", approx, exact, slack, exact)
+	}
+}
+
+func TestLocalCounterFlushing(t *testing.T) {
+	var c counters
+	lc := newLocalCounter(1)
+	flushes := 0
+	for i := 0; i < 10*flushSpan; i++ {
+		if lc.bumpIns(&c) {
+			flushes++
+		}
+	}
+	if flushes < 5 {
+		t.Fatalf("too few flushes: %d", flushes)
+	}
+	lc.flush(&c)
+	if c.ins.Load() != 10*flushSpan {
+		t.Fatalf("flushed total %d", c.ins.Load())
+	}
+	for i := 0; i < 3; i++ {
+		lc.bumpDel(&c)
+	}
+	lc.flush(&c)
+	if c.approxLive() != 10*flushSpan-3 {
+		t.Fatalf("live %d", c.approxLive())
+	}
+}
+
+func TestCountersUnderflowClamp(t *testing.T) {
+	var c counters
+	c.del.Add(5)
+	if c.approxLive() != 0 {
+		t.Fatal("live estimate must clamp at 0")
+	}
+}
+
+// --- Migration internals ---
+
+// TestMigrationPreservesExactMultiset fills a table with random keys,
+// deletes a random subset, forces a cleanup or growth, and compares the
+// full element multiset before and after.
+func TestMigrationPreservesExactMultiset(t *testing.T) {
+	for _, s := range []Strategy{UA, US} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(99))
+			g := NewGrow(s, 1<<10)
+			defer g.Close()
+			h := g.Handle()
+			want := map[uint64]uint64{}
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(1<<20)) + 1
+				v := uint64(r.Intn(1 << 30))
+				if h.Insert(k, v) {
+					want[k] = v
+				}
+			}
+			for k := range want {
+				if r.Intn(3) == 0 {
+					h.Delete(k)
+					delete(want, k)
+				}
+			}
+			// Force a migration regardless of fill.
+			g.initiate(g.cur.Load())
+			g.assist()
+			got := map[uint64]uint64{}
+			g.Range(func(k, v uint64) bool { got[k] = v; return true })
+			if len(got) != len(want) {
+				t.Fatalf("element count %d != %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("key %d: %d != %d", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterLemmaProperty: after any migration, every element must be
+// reachable by probing from its home cell without crossing an empty cell
+// — the linear-probing invariant Lemma 1's order-preserving copy must
+// maintain.
+func TestClusterLemmaProperty(t *testing.T) {
+	f := func(seed int64, nOps uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGrow(UA, 256)
+		defer g.Close()
+		h := g.Handle()
+		live := map[uint64]bool{}
+		for i := 0; i < int(nOps)+100; i++ {
+			k := uint64(r.Intn(4096)) + 1
+			if r.Intn(4) == 0 {
+				h.Delete(k)
+				delete(live, k)
+			} else {
+				h.Insert(k, k)
+				live[k] = true
+			}
+		}
+		g.initiate(g.cur.Load())
+		g.assist()
+		for k := range live {
+			if _, ok := h.Find(k); !ok {
+				t.Logf("key %d unreachable after migration (probe invariant broken)", k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationConcurrentWriters drives writers against repeated forced
+// migrations (marking mode) and checks no element or update is lost.
+func TestMigrationConcurrentWriters(t *testing.T) {
+	g := NewGrow(UA, 1<<10)
+	defer g.Close()
+	const keys = 4000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churn: force migrations continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				g.initiate(g.cur.Load())
+				g.assist()
+			}
+		}
+	}()
+	var wgW sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wgW.Add(1)
+		go func(id uint64) {
+			defer wgW.Done()
+			h := g.Handle()
+			for k := uint64(1); k <= keys; k++ {
+				h.InsertOrUpdate(k, id+1, func(cur, d uint64) uint64 { return cur | 1<<d })
+			}
+		}(uint64(i))
+	}
+	wgW.Wait()
+	close(stop)
+	wg.Wait()
+	h := g.Handle()
+	for k := uint64(1); k <= keys; k++ {
+		v, ok := h.Find(k)
+		if !ok {
+			t.Fatalf("key %d lost across migrations", k)
+		}
+		// Value is either a bitmask of updater bits or an initial id+1.
+		if v == 0 || v > (1|2|4|8|16|32) {
+			t.Fatalf("key %d has impossible value %d", k, v)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{UA: "uaGrow", US: "usGrow", PA: "paGrow", PS: "psGrow", Strategy(9): "unknown"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+}
+
+func TestTableSizing(t *testing.T) {
+	for _, tc := range []struct{ in, wantCap uint64 }{
+		{0, 8}, {1, 8}, {8, 8}, {9, 16}, {4096, 4096}, {4097, 8192},
+	} {
+		if got := NewTable(tc.in).capacity; got != tc.wantCap {
+			t.Errorf("NewTable(%d).capacity = %d, want %d", tc.in, got, tc.wantCap)
+		}
+	}
+	f := NewFolklore(1000) // ≥ 2n rule
+	if f.Capacity() < 2000 {
+		t.Fatalf("folklore sizing rule violated: %d", f.Capacity())
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	f := NewFolkloreExact(1024)
+	if f.MemBytes() != 1024*16 {
+		t.Fatalf("MemBytes %d", f.MemBytes())
+	}
+	g := NewGrow(UA, 1024)
+	defer g.Close()
+	if g.MemBytes() != 1024*16 {
+		t.Fatalf("grow MemBytes %d", g.MemBytes())
+	}
+}

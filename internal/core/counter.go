@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/pad"
+	"repro/internal/rng"
+)
+
+// counters is the approximate element count of §5.2: handles accumulate
+// insertions/deletions locally and flush to the padded global counters
+// after a randomized number of local events (randomized between 1 and
+// flushSpan, the paper's trick to provably de-contend the global word).
+// The estimate I−D undercounts by at most O(p·flushSpan) = O(p²).
+type counters struct {
+	ins pad.Uint64 // I: global insertions (= nonempty cells incl. tombstones)
+	del pad.Uint64 // D: global deletions
+}
+
+// flushSpan is Θ(p); 64 covers the machine sizes the paper targets while
+// keeping the estimate error small on little machines.
+const flushSpan = 64
+
+// approxNonempty estimates the number of nonempty cells (live+tombstones)
+// — the quantity §5.4 says must drive migration triggering.
+func (c *counters) approxNonempty() uint64 { return c.ins.Load() }
+
+// approxLive estimates the number of live elements.
+func (c *counters) approxLive() uint64 {
+	i, d := c.ins.Load(), c.del.Load()
+	if d > i {
+		return 0
+	}
+	return i - d
+}
+
+// localCounter is the per-handle side. Not goroutine safe (handles are
+// goroutine private, §5.1).
+type localCounter struct {
+	ins       uint64
+	del       uint64
+	threshold uint64
+	rnd       rng.SplitMix64
+}
+
+func newLocalCounter(seed uint64) localCounter {
+	lc := localCounter{rnd: *rng.NewSplitMix64(seed)}
+	lc.reroll()
+	return lc
+}
+
+func (lc *localCounter) reroll() { lc.threshold = 1 + lc.rnd.Uint64n(flushSpan) }
+
+// bumpIns records one successful insertion; returns true if the local
+// counters were flushed to the globals (the caller then re-checks the
+// migration trigger).
+func (lc *localCounter) bumpIns(g *counters) bool {
+	lc.ins++
+	if lc.ins+lc.del >= lc.threshold {
+		lc.flush(g)
+		return true
+	}
+	return false
+}
+
+// bumpDel records one successful deletion.
+func (lc *localCounter) bumpDel(g *counters) bool {
+	lc.del++
+	if lc.ins+lc.del >= lc.threshold {
+		lc.flush(g)
+		return true
+	}
+	return false
+}
+
+func (lc *localCounter) flush(g *counters) {
+	if lc.ins > 0 {
+		g.ins.Add(lc.ins)
+		lc.ins = 0
+	}
+	if lc.del > 0 {
+		g.del.Add(lc.del)
+		lc.del = 0
+	}
+	lc.reroll()
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/tables"
+)
+
+// FullKeys restores the complete 64-bit key space over a core table
+// (§5.6). The core reserves key 0 (empty), the top bit (pending) and the
+// all-ones pattern (frozen); FullKeys lifts all three restrictions with
+// the paper's two devices:
+//
+//   - two subtables t0/t1 store keys with the top bit clear/set, the bit
+//     itself removed before storing — "storing the lost bit implicitly";
+//   - the handful of keys that collide with reserved patterns after the
+//     bit strip (0 and 2^63-1) live in dedicated special slots on the
+//     global object ("two special slots in the global hash table data
+//     structure").
+//
+// Values keep the core's 62-bit domain.
+type FullKeys struct {
+	t0, t1 tables.Interface
+
+	mu      sync.RWMutex
+	special map[uint64]uint64 // the ≤4 reserved-pattern keys
+}
+
+// NewFullKeys wraps a pair of tables built by mk (one per key half-space).
+func NewFullKeys(mk func() tables.Interface) *FullKeys {
+	return &FullKeys{t0: mk(), t1: mk(), special: make(map[uint64]uint64, 4)}
+}
+
+const fullTopBit = uint64(1) << 63
+
+// split maps a user key to (subtable index, stored core key, isSpecial).
+func split(k uint64) (hi bool, core uint64, special bool) {
+	hi = k&fullTopBit != 0
+	core = k &^ fullTopBit
+	if core == 0 || core >= frozenKey {
+		return hi, 0, true
+	}
+	return hi, core, false
+}
+
+// Handle returns a goroutine-private accessor.
+func (f *FullKeys) Handle() tables.Handle {
+	return &fullKeysHandle{f: f, h0: f.t0.Handle(), h1: f.t1.Handle()}
+}
+
+var _ tables.Interface = (*FullKeys)(nil)
+
+// ApproxSize sums the subtables' estimates plus the special slots.
+func (f *FullKeys) ApproxSize() uint64 {
+	var n uint64
+	if s, ok := f.t0.(tables.Sizer); ok {
+		n += s.ApproxSize()
+	}
+	if s, ok := f.t1.(tables.Sizer); ok {
+		n += s.ApproxSize()
+	}
+	f.mu.RLock()
+	n += uint64(len(f.special))
+	f.mu.RUnlock()
+	return n
+}
+
+// Close closes the subtables if they own resources.
+func (f *FullKeys) Close() {
+	if c, ok := f.t0.(tables.Closer); ok {
+		c.Close()
+	}
+	if c, ok := f.t1.(tables.Closer); ok {
+		c.Close()
+	}
+}
+
+type fullKeysHandle struct {
+	f      *FullKeys
+	h0, h1 tables.Handle
+}
+
+func (h *fullKeysHandle) sub(hi bool) tables.Handle {
+	if hi {
+		return h.h1
+	}
+	return h.h0
+}
+
+func (h *fullKeysHandle) Insert(k, d uint64) bool {
+	hi, core, special := split(k)
+	if special {
+		h.f.mu.Lock()
+		defer h.f.mu.Unlock()
+		if _, ok := h.f.special[k]; ok {
+			return false
+		}
+		h.f.special[k] = d
+		return true
+	}
+	return h.sub(hi).Insert(core, d)
+}
+
+func (h *fullKeysHandle) Update(k, d uint64, up tables.UpdateFn) bool {
+	hi, core, special := split(k)
+	if special {
+		h.f.mu.Lock()
+		defer h.f.mu.Unlock()
+		cur, ok := h.f.special[k]
+		if !ok {
+			return false
+		}
+		h.f.special[k] = up(cur, d)
+		return true
+	}
+	return h.sub(hi).Update(core, d, up)
+}
+
+func (h *fullKeysHandle) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	hi, core, special := split(k)
+	if special {
+		h.f.mu.Lock()
+		defer h.f.mu.Unlock()
+		if cur, ok := h.f.special[k]; ok {
+			h.f.special[k] = up(cur, d)
+			return false
+		}
+		h.f.special[k] = d
+		return true
+	}
+	return h.sub(hi).InsertOrUpdate(core, d, up)
+}
+
+func (h *fullKeysHandle) Find(k uint64) (uint64, bool) {
+	hi, core, special := split(k)
+	if special {
+		h.f.mu.RLock()
+		defer h.f.mu.RUnlock()
+		v, ok := h.f.special[k]
+		return v, ok
+	}
+	return h.sub(hi).Find(core)
+}
+
+func (h *fullKeysHandle) Delete(k uint64) bool {
+	hi, core, special := split(k)
+	if special {
+		h.f.mu.Lock()
+		defer h.f.mu.Unlock()
+		if _, ok := h.f.special[k]; !ok {
+			return false
+		}
+		delete(h.f.special, k)
+		return true
+	}
+	return h.sub(hi).Delete(core)
+}

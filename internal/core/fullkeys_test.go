@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tables"
+)
+
+func newFull() *FullKeys {
+	return NewFullKeys(func() tables.Interface { return NewGrow(UA, 64) })
+}
+
+// TestFullKeysReservedPatterns: every key the core reserves must work
+// through the wrapper, including 0, the frozen pattern, the pending bit
+// and all-ones.
+func TestFullKeysReservedPatterns(t *testing.T) {
+	f := newFull()
+	defer f.Close()
+	h := f.Handle()
+	keys := []uint64{
+		0,
+		frozenKey,         // 2^63-1
+		frozenKey | 1<<63, // all ones
+		1 << 63,           // only top bit
+		(1 << 63) | 12345, // high half-space ordinary
+		42,                // low half-space ordinary
+		MaxKey, MaxKey | 1<<63,
+	}
+	for i, k := range keys {
+		if !h.Insert(k, uint64(i)+1) {
+			t.Fatalf("insert %#x failed", k)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := h.Find(k); !ok || v != uint64(i)+1 {
+			t.Fatalf("find %#x: got %d,%v", k, v, ok)
+		}
+	}
+	for _, k := range keys {
+		if h.Insert(k, 9) {
+			t.Fatalf("duplicate insert %#x succeeded", k)
+		}
+	}
+	// The four reserved-pattern keys live in exactly-counted special
+	// slots; subtable counts may lag by the unflushed local counters.
+	if n := f.ApproxSize(); n < 4 || n > uint64(len(keys)) {
+		t.Fatalf("approx size %d", n)
+	}
+	for _, k := range keys {
+		if !h.Delete(k) {
+			t.Fatalf("delete %#x failed", k)
+		}
+		if _, ok := h.Find(k); ok {
+			t.Fatalf("key %#x present after delete", k)
+		}
+	}
+}
+
+// TestFullKeysHalfSpacesIndependent: the same 63-bit pattern in both
+// half-spaces must address distinct elements.
+func TestFullKeysHalfSpacesIndependent(t *testing.T) {
+	f := newFull()
+	defer f.Close()
+	h := f.Handle()
+	h.Insert(7, 100)
+	h.Insert(7|1<<63, 200)
+	if v, _ := h.Find(7); v != 100 {
+		t.Fatal("low half-space damaged")
+	}
+	if v, _ := h.Find(7 | 1<<63); v != 200 {
+		t.Fatal("high half-space damaged")
+	}
+	h.Delete(7)
+	if _, ok := h.Find(7 | 1<<63); !ok {
+		t.Fatal("delete crossed half-spaces")
+	}
+}
+
+// TestFullKeysQuickModel: differential test over the full 64-bit domain.
+func TestFullKeysQuickModel(t *testing.T) {
+	f := func(ops []modelOp, topBits []bool) bool {
+		fk := newFull()
+		defer fk.Close()
+		h := fk.Handle()
+		model := map[uint64]uint64{}
+		for i, op := range ops {
+			k := uint64(op.Key)
+			if i < len(topBits) && topBits[i] {
+				k |= 1 << 63
+			}
+			v := uint64(op.Val) + 1
+			switch op.Kind % 4 {
+			case 0:
+				_, present := model[k]
+				if h.Insert(k, v) == present {
+					t.Fatalf("insert(%#x) mismatch", k)
+				}
+				if !present {
+					model[k] = v
+				}
+			case 1:
+				want, present := model[k]
+				got, ok := h.Find(k)
+				if ok != present || (ok && got != want) {
+					t.Fatalf("find(%#x) mismatch", k)
+				}
+			case 2:
+				_, present := model[k]
+				if h.InsertOrUpdate(k, v, tables.AddFn) == present {
+					t.Fatalf("upsert(%#x) mismatch", k)
+				}
+				if present {
+					model[k] += v
+				} else {
+					model[k] = v
+				}
+			case 3:
+				_, present := model[k]
+				if h.Delete(k) != present {
+					t.Fatalf("delete(%#x) mismatch", k)
+				}
+				delete(model, k)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSXFolkloreBasics(t *testing.T) {
+	f := NewTSXFolklore(1000)
+	h := f.Handle()
+	for k := uint64(1); k <= 1000; k++ {
+		if !h.Insert(k, k*3) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		if v, ok := h.Find(k); !ok || v != k*3 {
+			t.Fatalf("find %d", k)
+		}
+	}
+	if h.Insert(5, 9) {
+		t.Fatal("duplicate insert")
+	}
+	if !h.Update(5, 100, tables.Overwrite) {
+		t.Fatal("update")
+	}
+	if v, _ := h.Find(5); v != 100 {
+		t.Fatal("update value")
+	}
+	if !h.Delete(5) || h.Delete(5) {
+		t.Fatal("delete")
+	}
+	if !h.Insert(5, 7) { // revive
+		t.Fatal("revive")
+	}
+	commits, _, _ := f.TxStats()
+	if commits == 0 {
+		t.Fatal("no transactions recorded")
+	}
+	if f.Capacity() < 2000 || f.MemBytes() == 0 || f.ApproxSize() == 0 {
+		t.Fatal("accessors")
+	}
+	n := 0
+	f.Range(func(k, v uint64) bool { n++; return true })
+	if n != 1000 {
+		t.Fatalf("range %d", n)
+	}
+}
+
+func TestTSXQuickModel(t *testing.T) {
+	f := func(ops []modelOp) bool {
+		fl := NewTSXFolklore(2048)
+		runDifferential(t, fl.Handle(), ops)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSXGrowAllStrategies(t *testing.T) {
+	const n = 30000
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := NewGrowTSX(s, 64)
+			defer g.Close()
+			h := g.Handle()
+			for k := uint64(1); k <= n; k++ {
+				if !h.Insert(k, k+1) {
+					t.Fatalf("insert %d", k)
+				}
+			}
+			for k := uint64(1); k <= n; k++ {
+				if v, ok := h.Find(k); !ok || v != k+1 {
+					t.Fatalf("find %d after growth", k)
+				}
+			}
+			commits, _, _ := g.TxStats()
+			if commits == 0 {
+				t.Fatal("TSX grow did not run transactions")
+			}
+		})
+	}
+}
+
+func TestTSXGrowConcurrent(t *testing.T) {
+	for _, s := range []Strategy{UA, US} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			g := NewGrowTSX(s, 64)
+			defer g.Close()
+			done := make(chan uint64, 8)
+			const keys = 15000
+			for i := 0; i < 8; i++ {
+				go func(id uint64) {
+					h := g.Handle()
+					var wins uint64
+					for k := uint64(1); k <= keys; k++ {
+						if h.Insert(k, k) {
+							wins++
+						}
+					}
+					done <- wins
+				}(uint64(i))
+			}
+			var total uint64
+			for i := 0; i < 8; i++ {
+				total += <-done
+			}
+			if total != keys {
+				t.Fatalf("insert successes %d, want %d", total, keys)
+			}
+		})
+	}
+}

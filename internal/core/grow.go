@@ -1,0 +1,499 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/htm"
+	"repro/internal/pad"
+	"repro/internal/tables"
+)
+
+// Strategy selects one of the four growing hash table variants of §7 —
+// the cross product of the migration-thread recruitment policy and the
+// consistency protocol of §5.3.2.
+type Strategy uint8
+
+const (
+	// UA: user threads are enslaved for migration; consistency by
+	// asynchronously marking cells before copying.
+	UA Strategy = iota
+	// US: user threads migrate; consistency by synchronizing update and
+	// grow phases with busy flags (enables native fetch-and-add updates).
+	US
+	// PA: a dedicated pool of migration goroutines; marking.
+	PA
+	// PS: a dedicated pool; synchronized.
+	PS
+)
+
+// String returns the paper's name for the variant.
+func (s Strategy) String() string {
+	switch s {
+	case UA:
+		return "uaGrow"
+	case US:
+		return "usGrow"
+	case PA:
+		return "paGrow"
+	case PS:
+		return "psGrow"
+	}
+	return "unknown"
+}
+
+func (s Strategy) synchronized() bool { return s == US || s == PS }
+func (s Strategy) pooled() bool       { return s == PA || s == PS }
+
+// growFillNum/growFillDen: a migration is triggered when the estimated
+// number of nonempty cells reaches 60% of capacity (§7).
+const (
+	growFillNum = 3
+	growFillDen = 5
+)
+
+// Grow is the adaptively sized table of §5: a folklore generation plus
+// the scalable cluster migration, in any of the four strategy variants.
+type Grow struct {
+	strategy Strategy
+	cur      atomic.Pointer[Table]
+	mig      atomic.Pointer[migration]
+	c        counters
+
+	// tx, when non-nil, routes all write operations (and migration
+	// marking) through emulated restricted transactions — the TSX-based
+	// instantiation of §7 measured in Fig. 9b.
+	tx *htm.TxRegion
+
+	// busy flags of all live handles; only used by synchronized variants.
+	busyMu sync.Mutex
+	busys  []*pad.Bool
+
+	// migration pool (p-variants).
+	poolCh chan *migration
+	closed atomic.Bool
+}
+
+// NewGrow builds a growing table with the given strategy and initial
+// capacity (the growing benchmarks of the paper start at 4096).
+func NewGrow(strategy Strategy, initialCapacity uint64) *Grow {
+	g := &Grow{strategy: strategy}
+	g.cur.Store(NewTable(initialCapacity))
+	if strategy.pooled() {
+		n := runtime.GOMAXPROCS(0)
+		g.poolCh = make(chan *migration, n)
+		for i := 0; i < n; i++ {
+			go g.poolWorker()
+		}
+	}
+	return g
+}
+
+// NewGrowTSX builds a growing table whose write operations run inside
+// emulated restricted transactions (tsxfolklore as the underlying
+// bounded table, §7/Fig. 9b).
+func NewGrowTSX(strategy Strategy, initialCapacity uint64) *Grow {
+	g := NewGrow(strategy, initialCapacity)
+	g.tx = htm.NewTxRegion()
+	return g
+}
+
+// TxStats returns the emulated-HTM statistics (zero for non-TSX tables).
+func (g *Grow) TxStats() (commits, aborts, fallbacks uint64) {
+	if g.tx == nil {
+		return 0, 0, 0
+	}
+	return g.tx.Stats()
+}
+
+// Strategy returns the variant.
+func (g *Grow) Strategy() Strategy { return g.strategy }
+
+// Capacity returns the current generation's cell count.
+func (g *Grow) Capacity() uint64 { return g.cur.Load().capacity }
+
+// MemBytes reports the backing memory of the current generation plus any
+// in-flight migration target (tables.MemUser, Fig. 10).
+func (g *Grow) MemBytes() uint64 {
+	b := g.cur.Load().MemBytes()
+	if m := g.mig.Load(); m != nil {
+		b += m.dst.MemBytes()
+	}
+	return b
+}
+
+// ApproxSize estimates the number of live elements (§5.2).
+func (g *Grow) ApproxSize() uint64 { return g.c.approxLive() }
+
+// Range iterates live elements; quiescent use only.
+func (g *Grow) Range(fn func(k, v uint64) bool) { g.cur.Load().rangeCore(fn) }
+
+// Close shuts down the migration pool (p-variants). The table must be
+// quiescent. Implements tables.Closer.
+func (g *Grow) Close() {
+	if g.strategy.pooled() && g.closed.CompareAndSwap(false, true) {
+		close(g.poolCh)
+	}
+}
+
+func (g *Grow) poolWorker() {
+	for m := range g.poolCh {
+		m.help()
+	}
+}
+
+var _ tables.Interface = (*Grow)(nil)
+var _ tables.Sizer = (*Grow)(nil)
+var _ tables.Ranger = (*Grow)(nil)
+var _ tables.MemUser = (*Grow)(nil)
+var _ tables.Closer = (*Grow)(nil)
+
+// initiate starts a migration away from src unless one is already
+// running. newCap is chosen from the live estimate: double when at least
+// a third of the capacity is live, keep the size for pure tombstone
+// cleanup (γ=1, §5.4), halve when almost empty (shrinking).
+func (g *Grow) initiate(src *Table) {
+	if g.mig.Load() != nil || g.cur.Load() != src {
+		return
+	}
+	live := g.c.approxLive()
+	newCap := src.capacity * 2
+	if live < src.capacity/3 {
+		newCap = src.capacity // cleanup only
+	}
+	if live < src.capacity/8 && src.capacity > 64 {
+		newCap = src.capacity / 2 // shrink
+	}
+	dst := NewTable(newCap)
+	m := newMigration(src, dst, !g.strategy.synchronized(), func(moved uint64) {
+		g.c.ins.Store(moved)
+		g.c.del.Store(0)
+		g.cur.Store(dst)
+		g.mig.Store(nil)
+	})
+	m.tx = g.tx
+	if !g.mig.CompareAndSwap(nil, m) {
+		return // someone else started one; help/wait via the op retry loop
+	}
+	if g.strategy.synchronized() {
+		g.drainBusy()
+	}
+	close(m.started)
+	if g.strategy.pooled() {
+		n := cap(g.poolCh)
+		for i := 0; i < n; i++ {
+			g.poolCh <- m
+		}
+		return
+	}
+	// User-thread recruitment (§5.3.2): the triggering access is itself
+	// enslaved, guaranteeing the migration makes progress even if no other
+	// thread touches the table.
+	m.help()
+}
+
+// drainBusy waits until every registered handle's busy flag has been
+// observed unset at least once (§5.3.2 "Prevent Concurrent Updates"). The
+// migration pointer is already published, so no handle can re-enter an
+// operation without seeing it.
+func (g *Grow) drainBusy() {
+	g.busyMu.Lock()
+	flags := make([]*pad.Bool, len(g.busys))
+	copy(flags, g.busys)
+	g.busyMu.Unlock()
+	for _, f := range flags {
+		for spins := 0; f.Load(); spins++ {
+			if spins > 64 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// assist is called by an operation that cannot proceed (marked cell, full
+// table, or armed migration). It helps or waits per the strategy, then
+// the caller retries on the (eventually new) current table.
+func (g *Grow) assist() {
+	m := g.mig.Load()
+	if m == nil {
+		return // already finished; retry will load the new table
+	}
+	if g.strategy.pooled() {
+		m.wait()
+		return
+	}
+	m.help()
+}
+
+// maybeTrigger checks the fill trigger after a counter flush.
+func (g *Grow) maybeTrigger() {
+	t := g.cur.Load()
+	if g.mig.Load() != nil {
+		return
+	}
+	if g.c.approxNonempty()*growFillDen >= t.capacity*growFillNum {
+		g.initiate(t)
+	}
+}
+
+// ShrinkToFit migrates into a table sized for the current live count
+// (≥ 2·live, power of two). Quiescent callers only in the bounded sense
+// that concurrent operations remain correct but may prolong the shrink.
+func (g *Grow) ShrinkToFit() {
+	src := g.cur.Load()
+	if g.mig.Load() != nil {
+		g.assist()
+		src = g.cur.Load()
+	}
+	live := g.c.approxLive()
+	target := NewTable(2*live + 16)
+	if target.capacity >= src.capacity {
+		return
+	}
+	m := newMigration(src, target, !g.strategy.synchronized(), func(moved uint64) {
+		g.c.ins.Store(moved)
+		g.c.del.Store(0)
+		g.cur.Store(target)
+		g.mig.Store(nil)
+	})
+	m.tx = g.tx
+	if !g.mig.CompareAndSwap(nil, m) {
+		g.assist()
+		return
+	}
+	if g.strategy.synchronized() {
+		g.drainBusy()
+	}
+	close(m.started)
+	if g.strategy.pooled() {
+		n := cap(g.poolCh)
+		for i := 0; i < n; i++ {
+			g.poolCh <- m
+		}
+		m.wait()
+		return
+	}
+	m.help()
+}
+
+// Handle returns a goroutine-private accessor (§5.1).
+func (g *Grow) Handle() tables.Handle {
+	h := &growHandle{g: g, lc: newLocalCounter(handleSeed())}
+	if g.strategy.synchronized() {
+		h.busy = &pad.Bool{}
+		g.busyMu.Lock()
+		g.busys = append(g.busys, h.busy)
+		g.busyMu.Unlock()
+	}
+	return h
+}
+
+type growHandle struct {
+	g    *Grow
+	lc   localCounter
+	busy *pad.Bool // synchronized variants only
+}
+
+// enter begins an operation: in synchronized mode it raises the busy flag
+// and backs off if a migration is armed. Returns the table to operate on
+// and false if the caller must assist and retry.
+func (h *growHandle) enter() (*Table, bool) {
+	if h.busy != nil {
+		h.busy.Store(true)
+		if h.g.mig.Load() != nil {
+			h.busy.Store(false)
+			h.g.assist()
+			return nil, false
+		}
+	}
+	return h.g.cur.Load(), true
+}
+
+// exit ends an operation and, if the counter flushed, checks the grow
+// trigger (outside the busy section to keep drainBusy deadlock-free).
+func (h *growHandle) exit(flushed bool) {
+	if h.busy != nil {
+		h.busy.Store(false)
+	}
+	if flushed {
+		h.g.maybeTrigger()
+	}
+}
+
+// doInsert/doUpdate/doUpsert/doDelete dispatch between the atomic and the
+// transactional (TSX) code paths.
+func (h *growHandle) doInsert(t *Table, k, d uint64) opStatus {
+	if h.g.tx != nil {
+		return t.insertTSX(h.g.tx, k, d)
+	}
+	return t.insertCore(k, d)
+}
+
+func (h *growHandle) doUpdate(t *Table, k, d uint64, up tables.UpdateFn) opStatus {
+	if h.g.tx != nil {
+		return t.updateTSX(h.g.tx, k, d, up)
+	}
+	return t.updateCore(k, d, up)
+}
+
+func (h *growHandle) doUpsert(t *Table, k, d uint64, up tables.UpdateFn) opStatus {
+	if h.g.tx != nil {
+		return t.insertOrUpdateTSX(h.g.tx, k, d, up)
+	}
+	return t.insertOrUpdateCore(k, d, up)
+}
+
+func (h *growHandle) doDelete(t *Table, k uint64) opStatus {
+	if h.g.tx != nil {
+		return t.deleteTSX(h.g.tx, k)
+	}
+	return t.deleteCore(k)
+}
+
+func (h *growHandle) Insert(k, d uint64) bool {
+	checkKey(k)
+	checkValue(d)
+	for {
+		t, ok := h.enter()
+		if !ok {
+			continue
+		}
+		switch h.doInsert(t, k, d) {
+		case statusInserted:
+			h.exit(h.lc.bumpIns(&h.g.c))
+			return true
+		case statusPresent:
+			h.exit(false)
+			return false
+		case statusMarked:
+			h.exit(false)
+			h.g.assist()
+		case statusFull:
+			h.exit(false)
+			h.g.initiate(t)
+			h.g.assist()
+		}
+	}
+}
+
+func (h *growHandle) Update(k, d uint64, up tables.UpdateFn) bool {
+	checkKey(k)
+	for {
+		t, ok := h.enter()
+		if !ok {
+			continue
+		}
+		switch h.doUpdate(t, k, d, up) {
+		case statusUpdated:
+			h.exit(false)
+			return true
+		case statusAbsent:
+			h.exit(false)
+			return false
+		case statusMarked:
+			h.exit(false)
+			h.g.assist()
+		}
+	}
+}
+
+func (h *growHandle) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	checkKey(k)
+	checkValue(d)
+	for {
+		t, ok := h.enter()
+		if !ok {
+			continue
+		}
+		switch h.doUpsert(t, k, d, up) {
+		case statusInserted:
+			h.exit(h.lc.bumpIns(&h.g.c))
+			return true
+		case statusUpdated:
+			h.exit(false)
+			return false
+		case statusMarked:
+			h.exit(false)
+			h.g.assist()
+		case statusFull:
+			h.exit(false)
+			h.g.initiate(t)
+			h.g.assist()
+		}
+	}
+}
+
+// InsertOrAdd is the aggregation fast path (tables.Adder). The
+// synchronized variants use a native fetch-and-add (updates and growing
+// cannot overlap, §5.3.2); the marking variants fall back to the CAS loop
+// because fetch-and-add cannot coexist with marker bits (§8.4 makes the
+// same distinction between usGrow and uaGrow).
+func (h *growHandle) InsertOrAdd(k, d uint64) bool {
+	checkKey(k)
+	checkValue(d)
+	for {
+		t, ok := h.enter()
+		if !ok {
+			continue
+		}
+		var st opStatus
+		switch {
+		case h.g.tx != nil:
+			st = t.insertOrUpdateTSX(h.g.tx, k, d, tables.AddFn)
+		case h.g.strategy.synchronized():
+			st = t.insertOrAddCore(k, d)
+		default:
+			st = t.insertOrUpdateCore(k, d, tables.AddFn)
+		}
+		switch st {
+		case statusInserted:
+			h.exit(h.lc.bumpIns(&h.g.c))
+			return true
+		case statusUpdated:
+			h.exit(false)
+			return false
+		case statusMarked:
+			h.exit(false)
+			h.g.assist()
+		case statusFull:
+			h.exit(false)
+			h.g.initiate(t)
+			h.g.assist()
+		}
+	}
+}
+
+func (h *growHandle) Find(k uint64) (uint64, bool) {
+	checkKey(k)
+	for {
+		t, ok := h.enter()
+		if !ok {
+			continue
+		}
+		v, found := t.findCore(k)
+		h.exit(false)
+		return v, found
+	}
+}
+
+func (h *growHandle) Delete(k uint64) bool {
+	checkKey(k)
+	for {
+		t, ok := h.enter()
+		if !ok {
+			continue
+		}
+		switch h.doDelete(t, k) {
+		case statusUpdated:
+			h.exit(h.lc.bumpDel(&h.g.c))
+			return true
+		case statusAbsent:
+			h.exit(false)
+			return false
+		case statusMarked:
+			h.exit(false)
+			h.g.assist()
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"repro/internal/hashfn"
+	"repro/internal/htm"
+	"repro/internal/tables"
+)
+
+// This file implements the transaction-assisted variants of §6: the
+// bounded tsxfolklore table and the TSX-instantiated growing variants
+// (§7: "All of these versions can also be instantiated using the TSX
+// based non-growing table as a basis"). Write operations execute their
+// cell mutation inside an emulated restricted transaction (see
+// repro/internal/htm for the substitution notes); inside a transaction
+// the CAS loops of the atomic code path collapse into plain loads and
+// stores, mirroring the paper's observation that the sequential bodies
+// are simpler than the cmpxchg16b versions. Reads stay wait-free and
+// never touch transaction state.
+
+// insertTSX is the transactional version of insertCore. Never uses the
+// pending bit: publication order (value before key) inside the stripe
+// plus the wait-free readers' torn-read semantics make it unnecessary.
+func (t *Table) insertTSX(r *htm.TxRegion, k, d uint64) opStatus {
+	h := hashIndex(t, k)
+	i := h
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			r.Begin(i)
+			kw = t.loadKey(i) // revalidate inside the transaction
+			if kw == 0 {
+				if t.loadVal(i)&markedBit != 0 {
+					r.End(i)
+					return statusMarked
+				}
+				t.storeVal(i, d|liveBit)
+				t.storeKey(i, k)
+				r.End(i)
+				return statusInserted
+			}
+			r.End(i)
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				kw = t.waitKey(i)
+			}
+			r.Begin(i)
+			v := t.loadVal(i)
+			switch {
+			case v&markedBit != 0:
+				r.End(i)
+				return statusMarked
+			case v&liveBit != 0:
+				r.End(i)
+				return statusPresent
+			default: // tombstone owned by k: revive
+				t.storeVal(i, d|liveBit)
+				r.End(i)
+				return statusInserted
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return statusFull
+}
+
+// updateTSX is the transactional update.
+func (t *Table) updateTSX(r *htm.TxRegion, k, d uint64, up func(cur, d uint64) uint64) opStatus {
+	i := hashIndex(t, k)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			return statusAbsent
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				return statusAbsent
+			}
+			r.Begin(i)
+			v := t.loadVal(i)
+			switch {
+			case v&markedBit != 0:
+				r.End(i)
+				return statusMarked
+			case v&liveBit == 0:
+				r.End(i)
+				return statusAbsent
+			}
+			t.storeVal(i, up(v&valueMask, d)&valueMask|liveBit)
+			r.End(i)
+			return statusUpdated
+		}
+		i = (i + 1) & mask
+	}
+	return statusAbsent
+}
+
+// insertOrUpdateTSX is the transactional Algorithm 1.
+func (t *Table) insertOrUpdateTSX(r *htm.TxRegion, k, d uint64, up func(cur, d uint64) uint64) opStatus {
+	i := hashIndex(t, k)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			r.Begin(i)
+			kw = t.loadKey(i)
+			if kw == 0 {
+				if t.loadVal(i)&markedBit != 0 {
+					r.End(i)
+					return statusMarked
+				}
+				t.storeVal(i, d|liveBit)
+				t.storeKey(i, k)
+				r.End(i)
+				return statusInserted
+			}
+			r.End(i)
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				kw = t.waitKey(i)
+			}
+			r.Begin(i)
+			v := t.loadVal(i)
+			switch {
+			case v&markedBit != 0:
+				r.End(i)
+				return statusMarked
+			case v&liveBit == 0:
+				t.storeVal(i, d|liveBit)
+				r.End(i)
+				return statusInserted
+			}
+			t.storeVal(i, up(v&valueMask, d)&valueMask|liveBit)
+			r.End(i)
+			return statusUpdated
+		}
+		i = (i + 1) & mask
+	}
+	return statusFull
+}
+
+// deleteTSX is the transactional tombstoning delete.
+func (t *Table) deleteTSX(r *htm.TxRegion, k uint64) opStatus {
+	i := hashIndex(t, k)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			return statusAbsent
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				return statusAbsent
+			}
+			r.Begin(i)
+			v := t.loadVal(i)
+			switch {
+			case v&markedBit != 0:
+				r.End(i)
+				return statusMarked
+			case v&liveBit == 0:
+				r.End(i)
+				return statusAbsent
+			}
+			t.storeVal(i, v&^liveBit)
+			r.End(i)
+			return statusUpdated
+		}
+		i = (i + 1) & mask
+	}
+	return statusAbsent
+}
+
+// TSXFolklore is the bounded folklore table with transactional writers
+// (§6, Fig. 9a). Reads are identical to Folklore's.
+type TSXFolklore struct {
+	t  *Table
+	tx *htm.TxRegion
+	c  counters
+}
+
+// NewTSXFolklore builds a bounded transactional table sized like
+// NewFolklore.
+func NewTSXFolklore(expected uint64) *TSXFolklore {
+	return &TSXFolklore{t: NewTable(2 * expected), tx: htm.NewTxRegion()}
+}
+
+// NewTSXFolkloreExact builds with an exact (rounded-up) capacity.
+func NewTSXFolkloreExact(capacity uint64) *TSXFolklore {
+	return &TSXFolklore{t: NewTable(capacity), tx: htm.NewTxRegion()}
+}
+
+// Capacity returns the cell count.
+func (f *TSXFolklore) Capacity() uint64 { return f.t.capacity }
+
+// MemBytes reports backing memory.
+func (f *TSXFolklore) MemBytes() uint64 { return f.t.MemBytes() }
+
+// ApproxSize estimates the live element count.
+func (f *TSXFolklore) ApproxSize() uint64 { return f.c.approxLive() }
+
+// Range iterates live elements; quiescent use only.
+func (f *TSXFolklore) Range(fn func(k, v uint64) bool) { f.t.rangeCore(fn) }
+
+// TxStats exposes commit/abort/fallback counts of the emulated HTM.
+func (f *TSXFolklore) TxStats() (commits, aborts, fallbacks uint64) { return f.tx.Stats() }
+
+// Handle returns a goroutine-private accessor.
+func (f *TSXFolklore) Handle() tables.Handle {
+	return &tsxFolkloreHandle{f: f, lc: newLocalCounter(handleSeed())}
+}
+
+var _ tables.Interface = (*TSXFolklore)(nil)
+var _ tables.Sizer = (*TSXFolklore)(nil)
+var _ tables.Ranger = (*TSXFolklore)(nil)
+var _ tables.MemUser = (*TSXFolklore)(nil)
+
+type tsxFolkloreHandle struct {
+	f  *TSXFolklore
+	lc localCounter
+}
+
+func (h *tsxFolkloreHandle) Insert(k, d uint64) bool {
+	checkKey(k)
+	checkValue(d)
+	switch h.f.t.insertTSX(h.f.tx, k, d) {
+	case statusInserted:
+		h.lc.bumpIns(&h.f.c)
+		return true
+	case statusPresent:
+		return false
+	default:
+		panic("core: tsxfolklore table full — size it to ≥2n (§7)")
+	}
+}
+
+func (h *tsxFolkloreHandle) Update(k, d uint64, up tables.UpdateFn) bool {
+	checkKey(k)
+	return h.f.t.updateTSX(h.f.tx, k, d, up) == statusUpdated
+}
+
+func (h *tsxFolkloreHandle) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
+	checkKey(k)
+	checkValue(d)
+	switch h.f.t.insertOrUpdateTSX(h.f.tx, k, d, up) {
+	case statusInserted:
+		h.lc.bumpIns(&h.f.c)
+		return true
+	case statusUpdated:
+		return false
+	default:
+		panic("core: tsxfolklore table full — size it to ≥2n (§7)")
+	}
+}
+
+// InsertOrAdd implements tables.Adder via the transactional add body.
+func (h *tsxFolkloreHandle) InsertOrAdd(k, d uint64) bool {
+	return h.InsertOrUpdate(k, d, tables.AddFn)
+}
+
+func (h *tsxFolkloreHandle) Find(k uint64) (uint64, bool) {
+	checkKey(k)
+	return h.f.t.findCore(k)
+}
+
+func (h *tsxFolkloreHandle) Delete(k uint64) bool {
+	checkKey(k)
+	if h.f.t.deleteTSX(h.f.tx, k) == statusUpdated {
+		h.lc.bumpDel(&h.f.c)
+		return true
+	}
+	return false
+}
+
+// hashIndex is a small helper shared by the TSX paths.
+func hashIndex(t *Table, k uint64) uint64 {
+	return t.index(hashfn.Hash64(k))
+}

@@ -1,0 +1,67 @@
+// Package hashfn provides the 64-bit hash functions used by every table in
+// this repository.
+//
+// The paper (§8.3) hashes keys with two CRC32-C (Castagnoli) instructions
+// seeded differently, concatenating the two 32-bit results into a 64-bit
+// hash; the hardware CRC instruction makes this nearly free. Go's
+// hash/crc32 uses the same polynomial (and SSE4.2 acceleration where
+// available), so Hash64 reproduces the construction faithfully. A
+// SplitMix64-style avalanche finalizer is also provided for tables that
+// want stronger diffusion of the low bits (chaining/cuckoo baselines).
+package hashfn
+
+import "hash/crc32"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Seeds for the two CRC passes. Arbitrary odd constants; the paper does
+// not publish its seeds, only the two-instruction construction.
+const (
+	seedHi uint32 = 0x9e3779b9
+	seedLo uint32 = 0x85ebca6b
+)
+
+// crc32cUint64 computes the CRC32-C of the 8 bytes of x, starting from
+// seed, without allocating.
+func crc32cUint64(seed uint32, x uint64) uint32 {
+	var b [8]byte
+	b[0] = byte(x)
+	b[1] = byte(x >> 8)
+	b[2] = byte(x >> 16)
+	b[3] = byte(x >> 24)
+	b[4] = byte(x >> 32)
+	b[5] = byte(x >> 40)
+	b[6] = byte(x >> 48)
+	b[7] = byte(x >> 56)
+	return crc32.Update(seed, castagnoli, b[:])
+}
+
+// Hash64 maps a 64-bit key to a 64-bit pseudorandom hash using two
+// independently seeded CRC32-C passes (upper and lower 32 bits), the
+// construction from §8.3 of the paper.
+func Hash64(key uint64) uint64 {
+	hi := crc32cUint64(seedHi, key)
+	lo := crc32cUint64(seedLo, key)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// Avalanche applies a SplitMix64/MurmurHash3-style finalizer. It is a
+// bijection on 64-bit words with strong low- and high-bit diffusion; used
+// by baselines whose index derivation consumes low bits.
+func Avalanche(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// HashString maps a string to a 64-bit hash using the same two-pass
+// CRC32-C construction over the string bytes; used by the complex-key
+// table (§5.7).
+func HashString(s string) uint64 {
+	hi := crc32.Update(seedHi, castagnoli, []byte(s))
+	lo := crc32.Update(seedLo, castagnoli, []byte(s))
+	return uint64(hi)<<32 | uint64(lo)
+}

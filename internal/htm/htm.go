@@ -1,0 +1,84 @@
+// Package htm emulates restricted hardware memory transactions (Intel
+// TSX / RTM, §6 of the paper) on hardware without them.
+//
+// Substitution note (see DESIGN.md §4): Go exposes no hardware
+// transactional memory, so this package reproduces the *control flow* of
+// restricted transactions rather than their micro-architecture. A
+// transaction over a table cell is an optimistic try-acquire of a striped
+// ownership word (a stand-in for exclusive cache-line ownership):
+//
+//   - TryBegin succeeding        ≙ transaction executing
+//   - TryBegin failing           ≙ transaction abort (conflicting owner)
+//   - retries exhausted → Begin  ≙ the fall-back path
+//
+// Inside a transaction, writers may use plain atomic stores instead of
+// CAS loops — the same simplification that makes the paper's TSX bodies
+// faster than their cmpxchg16b versions. Readers never touch the stripes
+// (they remain wait-free), relying on the cell protocol's torn-read
+// semantics exactly as in the non-TSX table.
+//
+// Deviation: the paper's fall-back path uses raw atomic instructions;
+// mixing those with an emulated (lock-based) transaction would break
+// atomicity, so our fall-back is a bounded-spin blocking acquire of the
+// same stripe. Abort statistics are recorded so experiments can report
+// abort rates like TSX evaluations do.
+package htm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// Stripes is the number of emulated ownership words.
+const Stripes = 1024
+
+// MaxRetries bounds speculative attempts before the fall-back, like the
+// retry policy of RTM runtimes.
+const MaxRetries = 3
+
+// TxRegion is a set of striped transaction ownership words plus abort
+// statistics.
+type TxRegion struct {
+	stripes [Stripes]pad.Uint64
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	fbacks  atomic.Uint64
+}
+
+// NewTxRegion returns an initialized region.
+func NewTxRegion() *TxRegion { return &TxRegion{} }
+
+// stripeOf maps a cell index to its stripe.
+func stripeOf(cell uint64) uint64 { return (cell * 0x9E3779B97F4A7C15) >> 54 } // top 10 bits
+
+// Begin opens a transaction covering cell, speculatively first and via
+// the blocking fall-back after MaxRetries aborts. Always succeeds; pair
+// with End.
+func (r *TxRegion) Begin(cell uint64) {
+	s := &r.stripes[stripeOf(cell)]
+	for attempt := 0; attempt < MaxRetries; attempt++ {
+		if s.CompareAndSwap(0, 1) {
+			return
+		}
+		r.aborts.Add(1)
+	}
+	r.fbacks.Add(1)
+	for spins := 0; !s.CompareAndSwap(0, 1); spins++ {
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// End commits the transaction covering cell.
+func (r *TxRegion) End(cell uint64) {
+	r.stripes[stripeOf(cell)].Store(0)
+	r.commits.Add(1)
+}
+
+// Stats returns cumulative commits, aborts and fall-back acquisitions.
+func (r *TxRegion) Stats() (commits, aborts, fallbacks uint64) {
+	return r.commits.Load(), r.aborts.Load(), r.fbacks.Load()
+}

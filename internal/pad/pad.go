@@ -1,0 +1,67 @@
+// Package pad provides cache-line padding primitives used to keep
+// per-thread hot data (handle counters, busy flags, block cursors) on
+// distinct cache lines. The paper (§5.1, footnote 3) highlights false
+// sharing as one of the performance pitfalls its handle design avoids.
+package pad
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed coherence granularity in bytes. 64 is
+// correct for every x86 and most ARM server parts; Apple M-series uses
+// 128, so we pad to 128 to be safe on both.
+const CacheLineSize = 128
+
+// Uint64 is a uint64 alone on its own cache line(s).
+type Uint64 struct {
+	_ [CacheLineSize - 8]byte
+	v atomic.Uint64
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically reads the value.
+func (p *Uint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically writes the value.
+func (p *Uint64) Store(x uint64) { p.v.Store(x) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Uint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// CompareAndSwap performs an atomic compare-and-swap.
+func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwap(old, new) }
+
+// Int64 is an int64 alone on its own cache line(s).
+type Int64 struct {
+	_ [CacheLineSize - 8]byte
+	v atomic.Int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically reads the value.
+func (p *Int64) Load() int64 { return p.v.Load() }
+
+// Store atomically writes the value.
+func (p *Int64) Store(x int64) { p.v.Store(x) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Int64) Add(delta int64) int64 { return p.v.Add(delta) }
+
+// Bool is an atomic boolean flag alone on its own cache line(s); used for
+// the per-handle busy flags of the synchronized growing protocol (§5.3.2).
+type Bool struct {
+	_ [CacheLineSize - 4]byte
+	v atomic.Uint32
+	_ [CacheLineSize - 4]byte
+}
+
+// Load atomically reads the flag.
+func (p *Bool) Load() bool { return p.v.Load() != 0 }
+
+// Store atomically writes the flag.
+func (p *Bool) Store(x bool) {
+	if x {
+		p.v.Store(1)
+	} else {
+		p.v.Store(0)
+	}
+}

@@ -1,0 +1,81 @@
+package pad
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s < 2*CacheLineSize-8 {
+		t.Fatalf("Uint64 size %d too small to isolate a cache line", s)
+	}
+	if s := unsafe.Sizeof(Bool{}); s < 2*CacheLineSize-4 {
+		t.Fatalf("Bool size %d too small to isolate a cache line", s)
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var p Uint64
+	if p.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	p.Store(5)
+	if p.Load() != 5 {
+		t.Fatal("store/load")
+	}
+	if p.Add(3) != 8 {
+		t.Fatal("add")
+	}
+	if !p.CompareAndSwap(8, 10) || p.Load() != 10 {
+		t.Fatal("cas success path")
+	}
+	if p.CompareAndSwap(8, 11) {
+		t.Fatal("cas must fail on stale expected value")
+	}
+}
+
+func TestInt64Ops(t *testing.T) {
+	var p Int64
+	p.Store(-5)
+	if p.Load() != -5 {
+		t.Fatal("store/load")
+	}
+	if p.Add(-3) != -8 {
+		t.Fatal("add")
+	}
+}
+
+func TestBool(t *testing.T) {
+	var b Bool
+	if b.Load() {
+		t.Fatal("zero value must be false")
+	}
+	b.Store(true)
+	if !b.Load() {
+		t.Fatal("store true")
+	}
+	b.Store(false)
+	if b.Load() {
+		t.Fatal("store false")
+	}
+}
+
+func TestUint64Concurrent(t *testing.T) {
+	var p Uint64
+	var wg sync.WaitGroup
+	const g, per = 8, 10000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Load() != g*per {
+		t.Fatalf("lost updates: %d != %d", p.Load(), g*per)
+	}
+}

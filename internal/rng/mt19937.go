@@ -1,0 +1,124 @@
+// Package rng provides the pseudorandom number generators used for
+// workload generation.
+//
+// The paper (§8.3) precomputes benchmark keys with the Mersenne Twister of
+// Matsumoto & Nishimura. MT19937-64 is implemented here from the published
+// algorithm (the standard 64-bit variant parameters) and validated against
+// the reference output vector in the tests. SplitMix64 is provided as a
+// cheap seeding/stream-splitting generator.
+package rng
+
+// MT19937-64 parameters (standard 64-bit Mersenne Twister).
+const (
+	mtN         = 312
+	mtM         = 156
+	mtMatrixA   = 0xB5026F5AA96619E9
+	mtUpperMask = 0xFFFFFFFF80000000
+	mtLowerMask = 0x000000007FFFFFFF
+)
+
+// MT19937 is a 64-bit Mersenne Twister. It is NOT safe for concurrent use;
+// the benchmark harness uses one instance per generator goroutine.
+type MT19937 struct {
+	state [mtN]uint64
+	index int
+}
+
+// NewMT19937 returns a generator seeded with seed using the reference
+// initialization recurrence.
+func NewMT19937(seed uint64) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed resets the generator state from a single 64-bit seed.
+func (m *MT19937) Seed(seed uint64) {
+	m.state[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.state[i] = 6364136223846793005*(m.state[i-1]^(m.state[i-1]>>62)) + uint64(i)
+	}
+	m.index = mtN
+}
+
+// SeedSlice resets the state from a seed array, as in the reference
+// implementation's init_by_array64.
+func (m *MT19937) SeedSlice(key []uint64) {
+	m.Seed(19650218)
+	i, j := 1, 0
+	k := len(key)
+	if mtN > k {
+		k = mtN
+	}
+	for ; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 62)) * 3935559000370003845)) + key[j] + uint64(j)
+		i++
+		j++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+		if j >= len(key) {
+			j = 0
+		}
+	}
+	for k = mtN - 1; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 62)) * 2862933555777941757)) - uint64(i)
+		i++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+	}
+	m.state[0] = 1 << 63
+	m.index = mtN
+}
+
+// generate refills the state block.
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		x := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		xa := x >> 1
+		if x&1 != 0 {
+			xa ^= mtMatrixA
+		}
+		m.state[i] = m.state[(i+mtM)%mtN] ^ xa
+	}
+	m.index = 0
+}
+
+// Uint64 returns the next 64-bit output.
+func (m *MT19937) Uint64() uint64 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	x := m.state[m.index]
+	m.index++
+	x ^= (x >> 29) & 0x5555555555555555
+	x ^= (x << 17) & 0x71D67FFFEDA60000
+	x ^= (x << 37) & 0xFFF7EEE000000000
+	x ^= x >> 43
+	return x
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire-style rejection
+// to avoid modulo bias. n must be > 0.
+func (m *MT19937) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Rejection sampling on the top bits: threshold is the largest
+	// multiple of n that fits in 2^64.
+	threshold := -n % n // (2^64 - n) mod n == 2^64 mod n
+	for {
+		v := m.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53-bit resolution.
+func (m *MT19937) Float64() float64 {
+	return float64(m.Uint64()>>11) / (1 << 53)
+}

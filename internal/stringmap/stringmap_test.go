@@ -1,0 +1,255 @@
+package stringmap
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	m := New(1000)
+	h := m.Handle()
+	if !h.Insert("hello", 1) || h.Insert("hello", 2) {
+		t.Fatal("insert semantics")
+	}
+	if v, ok := h.Find("hello"); !ok || v != 1 {
+		t.Fatal("find")
+	}
+	if _, ok := h.Find("world"); ok {
+		t.Fatal("phantom find")
+	}
+	if !h.Update("hello", 9, func(c, d uint64) uint64 { return c + d }) {
+		t.Fatal("update")
+	}
+	if v, _ := h.Find("hello"); v != 10 {
+		t.Fatal("update value")
+	}
+	if h.Update("absent", 1, func(c, d uint64) uint64 { return d }) {
+		t.Fatal("update absent")
+	}
+	if !h.Delete("hello") || h.Delete("hello") {
+		t.Fatal("delete semantics")
+	}
+	if _, ok := h.Find("hello"); ok {
+		t.Fatal("deleted still visible")
+	}
+	if !h.Insert("hello", 5) { // revive
+		t.Fatal("revive")
+	}
+	if m.Size() != 1 {
+		t.Fatalf("size %d", m.Size())
+	}
+}
+
+func TestManyKeys(t *testing.T) {
+	m := New(20000)
+	h := m.Handle()
+	for i := 0; i < 20000; i++ {
+		s := fmt.Sprintf("key-%d-%s", i, strings.Repeat("x", i%50))
+		if !h.Insert(s, uint64(i)) {
+			t.Fatalf("insert %q", s)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		s := fmt.Sprintf("key-%d-%s", i, strings.Repeat("x", i%50))
+		if v, ok := h.Find(s); !ok || v != uint64(i) {
+			t.Fatalf("find %q: %d,%v", s, v, ok)
+		}
+	}
+	if m.Size() != 20000 {
+		t.Fatalf("size %d", m.Size())
+	}
+}
+
+// TestSignatureCollisions: keys engineered to collide on home cell still
+// resolve correctly through full string comparison.
+func TestSignatureCollisions(t *testing.T) {
+	m := New(64)
+	h := m.Handle()
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, s := range keys {
+		if !h.Insert(s, uint64(i+1)) {
+			t.Fatalf("insert %q", s)
+		}
+	}
+	for i, s := range keys {
+		if v, ok := h.Find(s); !ok || v != uint64(i+1) {
+			t.Fatalf("find %q", s)
+		}
+	}
+}
+
+func TestEmptyAndLongStrings(t *testing.T) {
+	m := New(100)
+	h := m.Handle()
+	if !h.Insert("", 42) {
+		t.Fatal("empty string insert")
+	}
+	if v, ok := h.Find(""); !ok || v != 42 {
+		t.Fatal("empty string find")
+	}
+	long := strings.Repeat("z", maxStrLen)
+	if !h.Insert(long, 7) {
+		t.Fatal("max-length insert")
+	}
+	if v, ok := h.Find(long); !ok || v != 7 {
+		t.Fatal("max-length find")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized key must panic")
+		}
+	}()
+	h.Insert(strings.Repeat("z", maxStrLen+1), 1)
+}
+
+func TestInsertOrUpdateAggregation(t *testing.T) {
+	m := New(100)
+	h := m.Handle()
+	add := func(c, d uint64) uint64 { return c + d }
+	if !h.InsertOrUpdate("w", 3, add) {
+		t.Fatal("first must insert")
+	}
+	if h.InsertOrUpdate("w", 4, add) {
+		t.Fatal("second must update")
+	}
+	if v, _ := h.Find("w"); v != 7 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	f := func(ops []struct {
+		Kind uint8
+		Key  uint8
+		Val  uint16
+	}) bool {
+		m := New(512)
+		h := m.Handle()
+		model := map[string]uint64{}
+		for _, op := range ops {
+			s := fmt.Sprintf("k%d", op.Key)
+			v := uint64(op.Val) + 1
+			switch op.Kind % 4 {
+			case 0:
+				_, p := model[s]
+				if h.Insert(s, v) == p {
+					return false
+				}
+				if !p {
+					model[s] = v
+				}
+			case 1:
+				want, p := model[s]
+				got, ok := h.Find(s)
+				if ok != p || (ok && got != want) {
+					return false
+				}
+			case 2:
+				_, p := model[s]
+				if h.InsertOrUpdate(s, v, func(c, d uint64) uint64 { return c + d }) == p {
+					return false
+				}
+				if p {
+					model[s] += v
+				} else {
+					model[s] = v
+				}
+			case 3:
+				_, p := model[s]
+				if h.Delete(s) != p {
+					return false
+				}
+				delete(model, s)
+			}
+		}
+		for s, want := range model {
+			if got, ok := h.Find(s); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWordCount(t *testing.T) {
+	m := New(4096)
+	words := make([]string, 200)
+	for i := range words {
+		words[i] = fmt.Sprintf("word%03d", i)
+	}
+	const goroutines = 8
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.Handle()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.InsertOrUpdate(words[r.Intn(len(words))], 1,
+					func(c, d uint64) uint64 { return c + d })
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	h := m.Handle()
+	var sum uint64
+	for _, w := range words {
+		v, _ := h.Find(w)
+		sum += v
+	}
+	if sum != goroutines*perG {
+		t.Fatalf("lost updates: %d != %d", sum, goroutines*perG)
+	}
+}
+
+func TestConcurrentUniqueInsert(t *testing.T) {
+	m := New(8192)
+	const goroutines = 8
+	const keys = 4000
+	var wins [goroutines]int
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := m.Handle()
+			for i := 0; i < keys; i++ {
+				if h.Insert(fmt.Sprintf("k%d", i), uint64(id)+1) {
+					wins[id]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != keys {
+		t.Fatalf("insert successes %d want %d", total, keys)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New(100)
+	h := m.Handle()
+	want := map[string]uint64{"a": 1, "b": 2, "c": 3}
+	for s, v := range want {
+		h.Insert(s, v)
+	}
+	h.Delete("b")
+	got := map[string]uint64{}
+	m.Range(func(s string, v uint64) bool { got[s] = v; return true })
+	if len(got) != 2 || got["a"] != 1 || got["c"] != 3 {
+		t.Fatalf("range got %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package tables defines the common interface implemented by every hash
+// table in this repository — the paper's own variants (folklore, the four
+// xyGrow tables, tsxfolklore) and all reimplemented competitors — plus the
+// capability registry behind Table 1 of the paper.
+//
+// The interface mirrors §4 of the paper:
+//
+//   - Insert(k,d): fails (returns false) if the key is present; exactly one
+//     of multiple concurrent inserters of the same key succeeds.
+//   - Update(k,d,up): fails if the key is absent; otherwise atomically
+//     applies new = up(current, d).
+//   - InsertOrUpdate(k,d,up): insert if absent, else atomic update; returns
+//     true iff an insert happened.
+//   - Find(k): returns a copy of the value (never a reference — §4's
+//     "Lookup" discussion).
+//   - Delete(k): removes the key (tombstone or physical, per table).
+//
+// Threads access tables through handles (§5.1): Handle() returns a
+// per-goroutine accessor holding thread-local state (counters, cached
+// table pointer). Handles must not be shared between goroutines.
+package tables
+
+// UpdateFn computes the new value from the current value and the operand,
+// e.g. func(cur, d uint64) uint64 { return cur + d } for aggregation.
+type UpdateFn func(current, d uint64) uint64
+
+// Overwrite is the UpdateFn that replaces the stored value with d.
+func Overwrite(_, d uint64) uint64 { return d }
+
+// AddFn is the UpdateFn that adds d to the stored value (aggregation).
+func AddFn(current, d uint64) uint64 { return current + d }
+
+// Handle is a per-goroutine accessor to a shared table.
+type Handle interface {
+	// Insert stores ⟨k,d⟩ if k is absent. Returns true iff this call
+	// inserted the element.
+	Insert(k, d uint64) bool
+	// Update atomically changes the value of k to up(current, d).
+	// Returns false if k is absent.
+	Update(k, d uint64, up UpdateFn) bool
+	// InsertOrUpdate inserts ⟨k,d⟩ if absent, else updates like Update.
+	// Returns true iff an insert was performed.
+	InsertOrUpdate(k, d uint64, up UpdateFn) bool
+	// Find returns the value stored at k and whether k is present.
+	Find(k uint64) (uint64, bool)
+	// Delete removes k. Returns true iff k was present.
+	Delete(k uint64) bool
+}
+
+// Adder is implemented by handles offering a native fetch-and-add
+// insert-or-increment (the paper's atomicUpdate template specialization,
+// §4); the aggregation benchmark (Fig. 5) uses it when available.
+type Adder interface {
+	// InsertOrAdd inserts ⟨k,d⟩ if absent, else atomically adds d to the
+	// stored value. Returns true iff an insert was performed.
+	InsertOrAdd(k, d uint64) bool
+}
+
+// Sizer is implemented by tables supporting the approximate size
+// operation of §5.2.
+type Sizer interface {
+	// ApproxSize estimates the number of live elements.
+	ApproxSize() uint64
+}
+
+// Ranger is implemented by tables supporting forall iteration (§4, Bulk
+// Operations). Range must only be relied upon in quiescent states.
+type Ranger interface {
+	// Range calls f for every element until f returns false.
+	Range(f func(k, v uint64) bool)
+}
+
+// MemUser is implemented by tables that report the bytes of live backing
+// memory, replacing the paper's malloc interposition in Fig. 10.
+type MemUser interface {
+	// MemBytes returns the current total size of backing arrays in bytes.
+	MemBytes() uint64
+}
+
+// Interface is a shared concurrent hash table.
+type Interface interface {
+	// Handle returns a new per-goroutine accessor.
+	Handle() Handle
+}
+
+// Closer is implemented by tables that own background resources (the
+// dedicated migration pools of paGrow/psGrow).
+type Closer interface {
+	Close()
+}
+
+// Capabilities describes a table for Table 1 of the paper.
+type Capabilities struct {
+	Name          string // table name as used by the harness
+	Plot          string // paper plot marker/color description
+	StdInterface  string // access discipline: "handles", "direct", "qsbr function", ...
+	Growing       string // "yes", "no", "const factor", "slow", ...
+	AtomicUpdates string // "yes", "only overwrite", "locked", ...
+	Deletion      bool
+	GeneralTypes  bool // arbitrary key/value types
+	Reference     string
+}
+
+// Maker constructs a table pre-sized for capacity elements.
+type Maker func(capacity uint64) Interface
+
+type registration struct {
+	caps Capabilities
+	mk   Maker
+}
+
+var registry []registration
+
+// Register adds a table implementation to the global registry consumed by
+// the conformance tests, the benchmark harness, and Table 1 printing.
+// Call from package init functions.
+func Register(caps Capabilities, mk Maker) {
+	registry = append(registry, registration{caps, mk})
+}
+
+// All returns the capabilities of every registered table, in registration
+// order.
+func All() []Capabilities {
+	out := make([]Capabilities, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r.caps)
+	}
+	return out
+}
+
+// New builds the named registered table, or nil if unknown.
+func New(name string, capacity uint64) Interface {
+	for _, r := range registry {
+		if r.caps.Name == name {
+			return r.mk(capacity)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the capabilities for name.
+func Lookup(name string) (Capabilities, bool) {
+	for _, r := range registry {
+		if r.caps.Name == name {
+			return r.caps, true
+		}
+	}
+	return Capabilities{}, false
+}

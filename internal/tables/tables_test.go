@@ -1,0 +1,44 @@
+package tables
+
+import "testing"
+
+type fakeTable struct{ cap uint64 }
+
+func (f *fakeTable) Handle() Handle { return nil }
+
+func TestRegistryRoundtrip(t *testing.T) {
+	Register(Capabilities{Name: "test-fake", Growing: "no", Reference: "test"},
+		func(capacity uint64) Interface { return &fakeTable{cap: capacity} })
+	caps, ok := Lookup("test-fake")
+	if !ok || caps.Reference != "test" {
+		t.Fatal("lookup failed")
+	}
+	tab := New("test-fake", 123)
+	if tab == nil || tab.(*fakeTable).cap != 123 {
+		t.Fatal("maker not invoked with capacity")
+	}
+	if New("no-such-table", 1) != nil {
+		t.Fatal("unknown name must return nil")
+	}
+	if _, ok := Lookup("no-such-table"); ok {
+		t.Fatal("unknown lookup must fail")
+	}
+	found := false
+	for _, c := range All() {
+		if c.Name == "test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("All() missing registration")
+	}
+}
+
+func TestUpdateFns(t *testing.T) {
+	if Overwrite(5, 9) != 9 {
+		t.Fatal("Overwrite")
+	}
+	if AddFn(5, 9) != 14 {
+		t.Fatal("AddFn")
+	}
+}

@@ -1,0 +1,160 @@
+// Package zipfgen samples Zipf-distributed keys for the contention
+// benchmarks (§8.3 of the paper): P(k) ∝ 1/k^s over the universe 1..N,
+// with the exponent s sweeping 0.25..2.0.
+//
+// math/rand's Zipf requires s > 1, and a table-driven inverse-CDF over
+// N = 10^8 would need Θ(N) memory, so we implement the rejection-inversion
+// sampler of Hörmann & Derflinger ("Rejection-inversion to generate
+// variates from monotone discrete distributions", 1996), which draws from
+// the exact discrete Zipf distribution for any s ≥ 0 and any N in O(1)
+// expected time and O(1) memory.
+package zipfgen
+
+import "math"
+
+// Source is the uniform-variate source the sampler consumes. Both
+// rng.MT19937 and rng.SplitMix64 satisfy it.
+type Source interface {
+	Float64() float64
+}
+
+// Zipf samples from P(k) = k^-s / H(N,s), k ∈ 1..N. Not safe for
+// concurrent use; create one per goroutine.
+type Zipf struct {
+	n   uint64
+	s   float64
+	src Source
+
+	// Precomputed constants of the rejection-inversion scheme.
+	hIntegralX1        float64
+	hIntegralNumTerms  float64
+	sAbsCutoff         float64
+	uniformUpper       float64
+	uniformLower       float64
+	useUniformFallback bool
+}
+
+// New returns a sampler over 1..n with exponent s using src for uniform
+// variates. n must be ≥ 1 and s ≥ 0.
+func New(n uint64, s float64, src Source) *Zipf {
+	if n < 1 {
+		panic("zipfgen: n must be >= 1")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("zipfgen: s must be >= 0")
+	}
+	z := &Zipf{n: n, s: s, src: src}
+	if s == 0 {
+		// Degenerates to the uniform distribution on 1..n; sampled
+		// directly (rejection-inversion divides by s in hInverse).
+		z.useUniformFallback = true
+		return z
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1.0
+	z.hIntegralNumTerms = z.hIntegral(float64(n) + 0.5)
+	z.uniformLower = z.hIntegralX1
+	z.uniformUpper = z.hIntegralNumTerms
+	z.sAbsCutoff = 2 - z.hInverse(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// N returns the universe size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// h(x) = x^-s, the (unnormalized) density.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+// hIntegral is an antiderivative of h:
+//
+//	s == 1: log(x)
+//	else:   (x^(1-s) - 1) / (1 - s)
+//
+// written with expm1/log1p-style stability via helper below.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.s)*logX) * logX
+}
+
+// hInverse is the inverse of hIntegral.
+func (z *Zipf) hInverse(x float64) float64 {
+	t := x * (1 - z.s)
+	if t < -1 {
+		// Clamp against rounding below the pole (only relevant for
+		// s > 1 where hIntegral is bounded above by 1/(s-1)).
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1(x) = log1p(x)/x, continuous at 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2(x) = expm1(x)/x, continuous at 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}
+
+// Next draws one Zipf variate in 1..N.
+func (z *Zipf) Next() uint64 {
+	if z.useUniformFallback {
+		k := uint64(z.src.Float64() * float64(z.n))
+		if k >= z.n {
+			k = z.n - 1
+		}
+		return k + 1
+	}
+	for {
+		u := z.uniformUpper + z.src.Float64()*(z.uniformLower-z.uniformUpper)
+		// u is uniform in (hIntegral(1.5)-h(1), hIntegral(N+0.5)].
+		x := z.hInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		// Accept if k is within the hat's majorized region.
+		if k-x <= z.sAbsCutoff || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k)
+		}
+	}
+}
+
+// PMF returns P(k) for diagnostics and tests; O(N) normalization is
+// memoized on first call for small N only (tests use N ≤ 10^5).
+func (z *Zipf) PMF(k uint64) float64 {
+	if k < 1 || k > z.n {
+		return 0
+	}
+	return math.Pow(float64(k), -z.s) / z.HarmonicN()
+}
+
+var harmonicCache = map[[2]uint64]float64{}
+
+// HarmonicN returns the generalized harmonic number H(N,s) by direct
+// summation (intended for test-sized N).
+func (z *Zipf) HarmonicN() float64 {
+	keyBits := math.Float64bits(z.s)
+	if v, ok := harmonicCache[[2]uint64{z.n, keyBits}]; ok {
+		return v
+	}
+	sum := 0.0
+	for k := uint64(1); k <= z.n; k++ {
+		sum += math.Pow(float64(k), -z.s)
+	}
+	harmonicCache[[2]uint64{z.n, keyBits}] = sum
+	return sum
+}

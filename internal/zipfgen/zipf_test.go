@@ -1,0 +1,155 @@
+package zipfgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRangeAllS(t *testing.T) {
+	src := rng.NewSplitMix64(1)
+	for _, s := range []float64{0, 0.25, 0.5, 0.85, 1.0, 1.25, 1.5, 2.0} {
+		z := New(1000, s, src)
+		for i := 0; i < 20000; i++ {
+			k := z.Next()
+			if k < 1 || k > 1000 {
+				t.Fatalf("s=%f: sample %d out of range", s, k)
+			}
+		}
+	}
+}
+
+func TestN1(t *testing.T) {
+	z := New(1, 1.0, rng.NewSplitMix64(2))
+	for i := 0; i < 100; i++ {
+		if z.Next() != 1 {
+			t.Fatal("N=1 must always return 1")
+		}
+	}
+}
+
+// TestDistributionMatchesPMF performs a chi-squared-style check: empirical
+// frequencies of the first few ranks must match the analytic PMF.
+func TestDistributionMatchesPMF(t *testing.T) {
+	const n = 1000
+	const draws = 400000
+	for _, s := range []float64{0.5, 1.0, 1.5} {
+		z := New(n, s, rng.NewSplitMix64(uint64(s*100)))
+		counts := make(map[uint64]int)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		for k := uint64(1); k <= 10; k++ {
+			want := z.PMF(k) * draws
+			got := float64(counts[k])
+			// 5 standard deviations of a binomial.
+			tol := 5 * math.Sqrt(want)
+			if math.Abs(got-want) > tol+1 {
+				t.Errorf("s=%.2f k=%d: got %f want %f (tol %f)", s, k, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestSkewMonotonicity: higher s must concentrate more probability mass on
+// the most frequent key.
+func TestSkewMonotonicity(t *testing.T) {
+	const n = 10000
+	const draws = 200000
+	prev := -1.0
+	for _, s := range []float64{0.25, 0.75, 1.25, 2.0} {
+		z := New(n, s, rng.NewSplitMix64(7))
+		ones := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 1 {
+				ones++
+			}
+		}
+		frac := float64(ones) / draws
+		if frac <= prev {
+			t.Fatalf("P(1) not increasing with s: s=%f frac=%f prev=%f", s, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+// TestUniformFallback: s=0 must be (approximately) uniform.
+func TestUniformFallback(t *testing.T) {
+	const n = 10
+	const draws = 100000
+	z := New(n, 0, rng.NewSplitMix64(3))
+	var counts [n + 1]int
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	expect := float64(draws) / n
+	for k := 1; k <= n; k++ {
+		if math.Abs(float64(counts[k])-expect) > 5*math.Sqrt(expect) {
+			t.Errorf("s=0 bucket %d count %d deviates from %f", k, counts[k], expect)
+		}
+	}
+}
+
+// TestPaperContentionPoint reproduces the paper's observation anchor: for
+// s between 0.85 and 0.95 roughly 1–3% of accesses hit the most common
+// element when N = 10^8. We verify at a smaller N that P(1) is computed
+// consistently between sampler and PMF.
+func TestPaperContentionPoint(t *testing.T) {
+	const n = 100000
+	z := New(n, 0.9, rng.NewSplitMix64(11))
+	const draws = 300000
+	ones := 0
+	for i := 0; i < draws; i++ {
+		if z.Next() == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / draws
+	want := z.PMF(1)
+	if math.Abs(got-want) > 5*math.Sqrt(want/draws)+0.002 {
+		t.Fatalf("P(1): sampled %f, analytic %f", got, want)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	z := New(123, 1.5, rng.NewSplitMix64(1))
+	if z.N() != 123 || z.S() != 1.5 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, rng.NewSplitMix64(1)) },
+		func() { New(10, -1, rng.NewSplitMix64(1)) },
+		func() { New(10, math.NaN(), rng.NewSplitMix64(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkZipfS099(b *testing.B) {
+	z := New(1<<26, 0.99, rng.NewSplitMix64(1))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfS150(b *testing.B) {
+	z := New(1<<26, 1.5, rng.NewSplitMix64(1))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}
