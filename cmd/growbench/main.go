@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/tables"
 
 	_ "repro/internal/baselines" // register all competitor tables
 	_ "repro/internal/core"      // register the paper's tables
@@ -61,6 +62,14 @@ func main() {
 	}
 	if *tabs != "" {
 		cfg.Tables = strings.Split(*tabs, ",")
+		// Fail on typos now, with the registered-name list, rather than
+		// mid-run from deep inside an experiment.
+		for _, name := range cfg.Tables {
+			if _, ok := tables.Lookup(name); !ok {
+				fatal(fmt.Errorf("unknown table %q (registered: %s)",
+					name, strings.Join(tables.Names(), ", ")))
+			}
+		}
 	}
 
 	ids := []string{*exp}

@@ -3,8 +3,8 @@
 // concurrent insert-or-increment. Compares a growing growt table against
 // a mutex-protected map on the same workload and prints the top groups.
 //
-// The word-count flavor of the same pattern runs on the complex-key
-// StringMap (§5.7).
+// The word-count flavor of the same pattern runs a string-keyed
+// growt.Map, which routes through the complex-key table of §5.7.
 package main
 
 import (
@@ -34,8 +34,8 @@ func main() {
 		keys[i] = z.Next()
 	}
 
-	m := growt.NewMap(growt.Options{Strategy: growt.USGrow}) // fetch-and-add variant
-	defer growt.Close(m)
+	m := growt.New[uint64, uint64](growt.WithStrategy(growt.USGrow)) // fetch-and-add variant
+	defer m.Close()
 	start := time.Now()
 	var wg sync.WaitGroup
 	chunk := rows / workers
@@ -45,7 +45,7 @@ func main() {
 			defer wg.Done()
 			h := m.Handle()
 			for _, k := range keys[lo : lo+chunk] {
-				h.InsertOrUpdate(k, 1, growt.AddFn)
+				h.InsertOrUpdate(k, 1, growt.Add)
 			}
 		}(w * chunk)
 	}
@@ -74,7 +74,7 @@ func main() {
 	// Report the top-5 groups and cross-check the two engines.
 	type group struct{ k, count uint64 }
 	var top []group
-	growt.Range(m, func(k, v uint64) bool { top = append(top, group{k, v}); return true })
+	m.Range(func(k, v uint64) bool { top = append(top, group{k, v}); return true })
 	sort.Slice(top, func(i, j int) bool { return top[i].count > top[j].count })
 	fmt.Println("top groups (key: count):")
 	for i := 0; i < 5 && i < len(top); i++ {
@@ -89,11 +89,13 @@ func main() {
 	wordCount()
 }
 
-// wordCount aggregates string keys with the §5.7 complex-key table.
+// wordCount aggregates string keys; growt.New routes them to the §5.7
+// complex-key table. The handle-free Compute method keeps the worker
+// loop down to one line.
 func wordCount() {
 	text := strings.Repeat("the quick brown fox jumps over the lazy dog the fox ", 2000)
 	words := strings.Fields(text)
-	m := growt.NewStringMap(1000)
+	m := growt.New[string, uint64](growt.WithBounded(1000))
 	var wg sync.WaitGroup
 	chunk := len(words) / workers
 	for w := 0; w < workers; w++ {
@@ -102,13 +104,13 @@ func wordCount() {
 			defer wg.Done()
 			h := m.Handle()
 			for _, word := range words[lo : lo+chunk] {
-				h.InsertOrUpdate(word, 1, func(c, d uint64) uint64 { return c + d })
+				h.InsertOrUpdate(word, 1, growt.Add)
 			}
 		}(w * chunk)
 	}
 	wg.Wait()
-	h := m.Handle()
-	the, _ := h.Find("the")
-	fox, _ := h.Find("fox")
-	fmt.Printf("word count over StringMap: the=%d fox=%d\n", the, fox)
+	the, _ := m.Load("the")
+	fox, _ := m.Load("fox")
+	fmt.Printf("word count over the string table: the=%d fox=%d (distinct words: %d)\n",
+		the, fox, m.ApproxSize())
 }

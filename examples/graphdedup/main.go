@@ -5,6 +5,10 @@
 // using a growing growt table as the visited set: exactly one worker
 // wins Insert for each node, so the table double-acts as dedup filter
 // and parent map.
+//
+// The typed facade routes uint64 keys through the §5.6 full-key wrapper,
+// so node id 0 is a legal key — the word-sized layer's "+1 to dodge the
+// reserved empty key" dance is gone.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 const (
 	nodeBits = 20 // 2^20-node implicit graph
 	workers  = 4
+	root     = uint64(1)
 )
 
 // succ enumerates an implicit graph: each node has out-degree 3 (a
@@ -33,15 +38,12 @@ func succ(v uint64) [3]uint64 {
 }
 
 func main() {
-	visited := growt.NewMap(growt.Options{}) // grows with the frontier
-	defer growt.Close(visited)
+	visited := growt.New[uint64, uint64]() // node → BFS parent; grows with the frontier
+	defer visited.Close()
 
 	start := time.Now()
-	frontier := []uint64{1}
-	{
-		h := visited.Handle()
-		h.Insert(1+1, 0) // nodes stored +1 to avoid the reserved key 0
-	}
+	frontier := []uint64{root}
+	visited.Store(root, root) // the root is its own parent
 	var discovered uint64 = 1
 	level := 0
 	for len(frontier) > 0 {
@@ -65,7 +67,7 @@ func main() {
 					for _, s := range succ(v) {
 						// Insert wins exactly once per node: the winner
 						// records the parent and owns the expansion.
-						if h.Insert(s+1, v+1) {
+						if h.Insert(s, v) {
 							next[w] = append(next[w], s)
 						}
 					}
@@ -82,15 +84,14 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	n, _ := growt.ApproxSize(visited)
 	fmt.Printf("explored %d nodes (approx size %d) in %d BFS levels, %v\n",
-		discovered, n, level, elapsed)
+		discovered, visited.ApproxSize(), level, elapsed)
 
 	// Edge query phase: the visited set answers parent lookups wait-free.
 	h := visited.Handle()
 	hits := 0
 	for v := uint64(0); v < 1000; v++ {
-		if _, ok := h.Find(v + 1); ok {
+		if _, ok := h.Find(v); ok {
 			hits++
 		}
 	}
@@ -99,7 +100,7 @@ func main() {
 	// Walk a parent chain back to the root as a consistency check.
 	cur := frontierSample(h)
 	steps := 0
-	for cur != 2 && steps < 1_000_000 { // node 1 stored as 2
+	for cur != root && steps < 1_000_000 {
 		parent, ok := h.Find(cur)
 		if !ok {
 			panic("broken parent chain")
@@ -111,10 +112,10 @@ func main() {
 }
 
 // frontierSample returns some stored node key.
-func frontierSample(h growt.Handle) uint64 {
+func frontierSample(h *growt.Handle[uint64, uint64]) uint64 {
 	for v := uint64(12345); ; v++ {
-		if _, ok := h.Find(v + 1); ok {
-			return v + 1
+		if _, ok := h.Find(v); ok {
+			return v
 		}
 	}
 }

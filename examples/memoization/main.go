@@ -4,6 +4,11 @@
 // recurrence (a weighted Delannoy-style path count, mod 2^61) with
 // several racing top-down solvers sharing one growt table: whoever solves
 // a subproblem first publishes it; everyone else reuses it.
+//
+// The memo key is the subproblem coordinate pair itself — a struct key,
+// taking the typed facade's generic hash-codec route — so no manual bit
+// packing is needed. WithHasher supplies a fast coordinate mix (the
+// default fingerprint hasher would work too, just slower).
 package main
 
 import (
@@ -21,55 +26,64 @@ const (
 	workers = 4
 )
 
-// key packs the two coordinates (nonzero because x+1 ≥ 1).
-func key(x, y int) uint64 { return uint64(x+1)<<32 | uint64(y+1) }
+// cell is a subproblem coordinate — used directly as the map key.
+type cell struct{ x, y int32 }
+
+// hashCell mixes the two coordinates; collisions would be handled by the
+// facade's key-comparing chains, so this only needs to be fast.
+func hashCell(c cell) uint64 {
+	z := uint64(uint32(c.x))<<32 | uint64(uint32(c.y))
+	z ^= z >> 33
+	z *= 0xff51afd7ed558ccd
+	z ^= z >> 33
+	return z
+}
 
 // solver computes f(x,y) = f(x-1,y) + f(x,y-1) + f(x-1,y-1)·x mod m with
 // memoization. A per-goroutine explicit stack avoids goroutine-stack
 // overflows at large dims.
 type solver struct {
-	h      growt.Handle
+	h      *growt.Handle[cell, uint64]
 	misses *atomic.Uint64
 }
 
-func (s *solver) solve(x, y int) uint64 {
-	type frame struct{ x, y int }
-	stack := []frame{{x, y}}
+func (s *solver) solve(x, y int32) uint64 {
+	stack := []cell{{x, y}}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		if f.x == 0 || f.y == 0 {
-			s.h.Insert(key(f.x, f.y), 1)
+			s.h.Insert(f, 1)
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		a, okA := s.h.Find(key(f.x-1, f.y))
-		b, okB := s.h.Find(key(f.x, f.y-1))
-		c, okC := s.h.Find(key(f.x-1, f.y-1))
+		a, okA := s.h.Find(cell{f.x - 1, f.y})
+		b, okB := s.h.Find(cell{f.x, f.y - 1})
+		c, okC := s.h.Find(cell{f.x - 1, f.y - 1})
 		if !okA {
-			stack = append(stack, frame{f.x - 1, f.y})
+			stack = append(stack, cell{f.x - 1, f.y})
 		}
 		if !okB {
-			stack = append(stack, frame{f.x, f.y - 1})
+			stack = append(stack, cell{f.x, f.y - 1})
 		}
 		if !okC {
-			stack = append(stack, frame{f.x - 1, f.y - 1})
+			stack = append(stack, cell{f.x - 1, f.y - 1})
 		}
 		if okA && okB && okC {
 			v := (a + b + c%modulus*uint64(f.x)) % modulus
 			// Insert (not update): first solver wins, result is immutable.
-			if !s.h.Insert(key(f.x, f.y), v) {
+			if !s.h.Insert(f, v) {
 				s.misses.Add(1)
 			}
 			stack = stack[:len(stack)-1]
 		}
 	}
-	v, _ := s.h.Find(key(x, y))
+	v, _ := s.h.Find(cell{x, y})
 	return v
 }
 
 func main() {
-	memo := growt.NewMap(growt.Options{})
-	defer growt.Close(memo)
+	memo := growt.New[cell, uint64](growt.WithHasher(hashCell))
+	defer memo.Close()
 
 	var dup atomic.Uint64
 	start := time.Now()
@@ -105,10 +119,9 @@ func main() {
 			panic("solvers disagree — memo table corrupted")
 		}
 	}
-	size, _ := growt.ApproxSize(memo)
 	fmt.Printf("f(%d,%d) = %d\n", dim, dim, results[0])
-	fmt.Printf("memo entries ≈ %d (grid %d), duplicate solves %d, %v\n",
-		size, (dim+1)*(dim+1), dup.Load(), elapsed)
+	fmt.Printf("memo entries = %d (grid %d), duplicate solves %d, %v\n",
+		memo.ApproxSize(), (dim+1)*(dim+1), dup.Load(), elapsed)
 
 	// Sequential reference for the final answer.
 	ref := sequential(dim, dim)
@@ -118,15 +131,15 @@ func main() {
 	fmt.Println("matches the sequential dynamic program ✓")
 }
 
-func sequential(X, Y int) uint64 {
+func sequential(X, Y int32) uint64 {
 	prev := make([]uint64, Y+1)
 	cur := make([]uint64, Y+1)
-	for y := 0; y <= Y; y++ {
+	for y := int32(0); y <= Y; y++ {
 		prev[y] = 1
 	}
-	for x := 1; x <= X; x++ {
+	for x := int32(1); x <= X; x++ {
 		cur[0] = 1
-		for y := 1; y <= Y; y++ {
+		for y := int32(1); y <= Y; y++ {
 			cur[y] = (prev[y] + cur[y-1] + prev[y-1]%modulus*uint64(x)) % modulus
 		}
 		copy(prev, cur)

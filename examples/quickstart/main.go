@@ -1,6 +1,7 @@
-// Quickstart: the public API in two minutes — build a growing table,
-// give each goroutine a handle (§5.1 of the paper), and use the four
-// modification primitives of §4.
+// Quickstart: the public API in two minutes — build a typed growing
+// table with growt.New, give each goroutine a handle (§5.1 of the
+// paper), and use the four modification primitives of §4. The handle-free
+// sync.Map-shaped methods are shown at the end.
 package main
 
 import (
@@ -13,8 +14,10 @@ import (
 func main() {
 	// A growing table (uaGrow, the paper's headline variant). It starts
 	// tiny and doubles itself via scalable cluster migration as needed.
-	m := growt.NewMap(growt.Options{})
-	defer growt.Close(m)
+	// Integer keys route through the §5.6 full-key wrapper, so the whole
+	// uint64 range is legal — including 0, unlike the word-sized layer.
+	m := growt.New[uint64, uint64]()
+	defer m.Close()
 
 	var wg sync.WaitGroup
 	for worker := 0; worker < 4; worker++ {
@@ -27,7 +30,7 @@ func main() {
 				h.Insert(k, id)
 				// InsertOrUpdate with an update function: atomic
 				// aggregation without read-modify-write races.
-				h.InsertOrUpdate(k+1_000_000, 1, growt.AddFn)
+				h.InsertOrUpdate(k+1_000_000, 1, growt.Add)
 			}
 		}(uint64(worker))
 	}
@@ -40,9 +43,7 @@ func main() {
 	v, _ := h.Find(1_000_042)
 	fmt.Printf("counter 1000042 aggregated to %d (want 4)\n", v)
 
-	if n, ok := growt.ApproxSize(m); ok {
-		fmt.Printf("approximate size: %d (exact: 20000)\n", n)
-	}
+	fmt.Printf("approximate size: %d (exact: 20000)\n", m.ApproxSize())
 
 	// Update with a caller-supplied function — the paper's novel update
 	// interface (§4): new = up(current, d).
@@ -55,4 +56,19 @@ func main() {
 	if _, ok := h.Find(42); !ok {
 		fmt.Println("key 42 deleted")
 	}
+
+	// Handle-free convenience methods — a recycled handle per call, a
+	// drop-in sync.Map shape. Works for any key/value types; here a
+	// string-keyed map over the §5.7 complex-key table (bounded — size
+	// real ones with growt.WithBounded).
+	langs := growt.New[string, string]()
+	langs.Store("go", "gopher")
+	langs.Store("rust", "crab")
+	if mascot, ok := langs.Load("go"); ok {
+		fmt.Printf("mascot: %s\n", mascot)
+	}
+	langs.Range(func(k, v string) bool {
+		fmt.Printf("  %s → %s\n", k, v)
+		return true
+	})
 }

@@ -11,22 +11,41 @@
 //
 // # Quick start
 //
-//	m := growt.NewMap(growt.Options{})      // uaGrow, growing
+// The primary API is the typed facade: New builds a Map[K, V] for any
+// comparable key type and any value type, routing to the right core
+// automatically (integer keys → §5.6 full-key word tables, string keys
+// → the §5.7 string table, everything else → a hash-to-64-bit codec):
+//
+//	m := growt.New[uint64, uint64]()        // uaGrow, growing
 //	h := m.Handle()                         // one handle per goroutine
 //	h.Insert(42, 1)
-//	h.InsertOrUpdate(42, 1, growt.AddFn)    // atomic aggregation
+//	h.InsertOrUpdate(42, 1, growt.Add)      // atomic aggregation
 //	v, ok := h.Find(42)
 //	h.Delete(42)
 //
 // Handles (§5.1) are goroutine-private: create one per goroutine, never
-// share them. The table itself is freely shareable.
+// share them. The Map itself is freely shareable, and also offers
+// handle-free sync.Map-shaped methods (Load / Store / LoadOrStore /
+// Compute / Delete) backed by an internal handle pool:
 //
-// # Key and value domains
+//	counts := growt.New[string, int]()
+//	counts.Compute("gopher", 1, growt.Add)
+//	n, ok := counts.Load("gopher")
 //
-// The word-sized tables store 63-bit keys (nonzero) and 62-bit values;
-// the spare bits drive the paper's cell protocol. Wrap a table in
-// NewFullKeyMap to restore the full 64-bit key space (§5.6), or use
-// NewStringMap for arbitrary string keys (§5.7).
+// Configuration is by functional options: WithStrategy picks the growing
+// variant (§7), WithBounded freezes capacity (§4 folklore), WithTSX uses
+// emulated memory transactions (§6), WithHasher supplies the hash for
+// generic key types.
+//
+// # The word-sized layer
+//
+// The typed facade is a veneer; the paper's tables themselves speak
+// 63-bit nonzero keys and 62-bit values (the spare bits drive the cell
+// protocol). That layer stays public for benchmarks and embedders:
+// NewMap/Options build a WordMap, NewFullKeyMap restores the full 64-bit
+// key space (§5.6), NewStringMap is the raw string table (§5.7), and the
+// Close/ApproxSize/Range helpers probe optional capabilities by type
+// assertion.
 package growt
 
 import (
@@ -38,11 +57,13 @@ import (
 // UpdateFn computes a new value from the current value and the operand.
 type UpdateFn = tables.UpdateFn
 
-// Handle is a goroutine-private table accessor (§5.1).
-type Handle = tables.Handle
+// WordHandle is a goroutine-private accessor of a word-sized table
+// (§5.1). The typed facade's analogue is Handle[K, V].
+type WordHandle = tables.Handle
 
-// Map is a shared concurrent hash table.
-type Map = tables.Interface
+// WordMap is a shared word-sized concurrent hash table — the low-level
+// layer beneath Map[K, V].
+type WordMap = tables.Interface
 
 // AddFn adds the operand to the stored value (atomic aggregation).
 var AddFn = tables.AddFn
@@ -89,7 +110,7 @@ type Options struct {
 }
 
 // NewMap builds a word-sized concurrent hash table per opts.
-func NewMap(opts Options) Map {
+func NewMap(opts Options) WordMap {
 	if opts.Bounded {
 		n := opts.Expected
 		if n == 0 {
@@ -102,7 +123,7 @@ func NewMap(opts Options) Map {
 	}
 	capacity := opts.InitialCapacity
 	if capacity == 0 {
-		capacity = 4096
+		capacity = defaultInitialCapacity
 	}
 	if opts.TSX {
 		return core.NewGrowTSX(opts.Strategy, capacity)
@@ -121,7 +142,7 @@ func NewGrow(s Strategy, initialCapacity uint64) *core.Grow {
 
 // NewFullKeyMap wraps tables built by mk into a map accepting the entire
 // 64-bit key space (§5.6 two-subtable construction).
-func NewFullKeyMap(mk func() Map) *core.FullKeys { return core.NewFullKeys(mk) }
+func NewFullKeyMap(mk func() WordMap) *core.FullKeys { return core.NewFullKeys(mk) }
 
 // StringMap is the complex-key table of §5.7 (string keys, arena
 // storage, signature-accelerated probing).
@@ -132,15 +153,15 @@ type StringMap = stringmap.Map
 func NewStringMap(expected uint64) *StringMap { return stringmap.New(expected) }
 
 // Close releases background resources if the map owns any (the dedicated
-// migration pools of paGrow/psGrow). Safe to call on any Map.
-func Close(m Map) {
+// migration pools of paGrow/psGrow). Safe to call on any WordMap.
+func Close(m WordMap) {
 	if c, ok := m.(tables.Closer); ok {
 		c.Close()
 	}
 }
 
 // ApproxSize returns the map's size estimate (§5.2) if it supports one.
-func ApproxSize(m Map) (uint64, bool) {
+func ApproxSize(m WordMap) (uint64, bool) {
 	if s, ok := m.(tables.Sizer); ok {
 		return s.ApproxSize(), true
 	}
@@ -148,7 +169,7 @@ func ApproxSize(m Map) (uint64, bool) {
 }
 
 // Range iterates the map if it supports iteration (quiescent use only).
-func Range(m Map, f func(k, v uint64) bool) bool {
+func Range(m WordMap, f func(k, v uint64) bool) bool {
 	if r, ok := m.(tables.Ranger); ok {
 		r.Range(f)
 		return true

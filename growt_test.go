@@ -68,7 +68,7 @@ func TestPublicAggregation(t *testing.T) {
 }
 
 func TestPublicFullKeyMap(t *testing.T) {
-	m := growt.NewFullKeyMap(func() growt.Map {
+	m := growt.NewFullKeyMap(func() growt.WordMap {
 		return growt.NewMap(growt.Options{})
 	})
 	h := m.Handle()

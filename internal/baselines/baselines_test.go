@@ -22,9 +22,9 @@ var all = append([]string{"seq", "phase"}, concurrent...)
 
 func mk(t *testing.T, name string, capacity uint64) tables.Interface {
 	t.Helper()
-	tab := tables.New(name, capacity)
-	if tab == nil {
-		t.Fatalf("table %q not registered", name)
+	tab, err := tables.New(name, capacity)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return tab
 }

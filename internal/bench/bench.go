@@ -143,9 +143,9 @@ func (r Result) print(out io.Writer, paramFmt string) {
 
 // newTable builds a registered table, failing loudly on unknown names.
 func newTable(name string, capacity uint64) tables.Interface {
-	t := tables.New(name, capacity)
-	if t == nil {
-		panic(fmt.Sprintf("bench: unknown table %q", name))
+	t, err := tables.New(name, capacity)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
 	}
 	return t
 }

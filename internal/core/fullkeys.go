@@ -65,6 +65,50 @@ func (f *FullKeys) ApproxSize() uint64 {
 	return n
 }
 
+// Range iterates the full-key map (quiescent use only, like every Range
+// in this repository): subtable keys are re-widened — t1 keys get the
+// stripped top bit restored — and the special slots are appended last.
+func (f *FullKeys) Range(fn func(k, v uint64) bool) {
+	stopped := false
+	if r, ok := f.t0.(tables.Ranger); ok {
+		r.Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stopped = true
+			}
+			return !stopped
+		})
+	}
+	if stopped {
+		return
+	}
+	if r, ok := f.t1.(tables.Ranger); ok {
+		r.Range(func(k, v uint64) bool {
+			if !fn(k|fullTopBit, v) {
+				stopped = true
+			}
+			return !stopped
+		})
+	}
+	if stopped {
+		return
+	}
+	// Snapshot the ≤4 special slots before calling fn, so a callback that
+	// mutates a special key (taking f.mu.Lock) cannot self-deadlock.
+	f.mu.RLock()
+	special := make(map[uint64]uint64, len(f.special))
+	for k, v := range f.special {
+		special[k] = v
+	}
+	f.mu.RUnlock()
+	for k, v := range special {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+var _ tables.Ranger = (*FullKeys)(nil)
+
 // Close closes the subtables if they own resources.
 func (f *FullKeys) Close() {
 	if c, ok := f.t0.(tables.Closer); ok {

@@ -20,6 +20,11 @@
 // table pointer). Handles must not be shared between goroutines.
 package tables
 
+import (
+	"fmt"
+	"strings"
+)
+
 // UpdateFn computes the new value from the current value and the operand,
 // e.g. func(cur, d uint64) uint64 { return cur + d } for aggregation.
 type UpdateFn func(current, d uint64) uint64
@@ -128,17 +133,30 @@ func All() []Capabilities {
 	return out
 }
 
-// New builds the named registered table, or nil if unknown.
-func New(name string, capacity uint64) Interface {
+// New builds the named registered table. Unknown names return a
+// descriptive error listing every registered table, so a typo in a
+// benchmark flag or config fails loudly instead of yielding a nil map.
+func New(name string, capacity uint64) (Interface, error) {
 	for _, r := range registry {
 		if r.caps.Name == name {
-			return r.mk(capacity)
+			return r.mk(capacity), nil
 		}
 	}
-	return nil
+	return nil, fmt.Errorf("tables: unknown table %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
 }
 
-// Lookup returns the capabilities for name.
+// Names returns every registered table name, in registration order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r.caps.Name)
+	}
+	return out
+}
+
+// Lookup returns the capabilities for name; ok is false (with zero
+// Capabilities) when name is not registered.
 func Lookup(name string) (Capabilities, bool) {
 	for _, r := range registry {
 		if r.caps.Name == name {

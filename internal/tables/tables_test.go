@@ -1,6 +1,9 @@
 package tables
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 type fakeTable struct{ cap uint64 }
 
@@ -13,12 +16,18 @@ func TestRegistryRoundtrip(t *testing.T) {
 	if !ok || caps.Reference != "test" {
 		t.Fatal("lookup failed")
 	}
-	tab := New("test-fake", 123)
-	if tab == nil || tab.(*fakeTable).cap != 123 {
+	tab, err := New("test-fake", 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.(*fakeTable).cap != 123 {
 		t.Fatal("maker not invoked with capacity")
 	}
-	if New("no-such-table", 1) != nil {
-		t.Fatal("unknown name must return nil")
+	if _, err := New("no-such-table", 1); err == nil {
+		t.Fatal("unknown name must return an error")
+	} else if !strings.Contains(err.Error(), "no-such-table") ||
+		!strings.Contains(err.Error(), "test-fake") {
+		t.Fatalf("error should name the bad table and list registered ones, got: %v", err)
 	}
 	if _, ok := Lookup("no-such-table"); ok {
 		t.Fatal("unknown lookup must fail")

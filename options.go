@@ -1,0 +1,67 @@
+package growt
+
+// config is the resolved functional-option state consumed by New.
+type config struct {
+	strategy Strategy
+	capacity uint64
+	bounded  bool
+	expected uint64
+	tsx      bool
+	// hasher holds a user-supplied func(K) uint64; it is stored as any
+	// because Option is deliberately non-generic (so option values can be
+	// built, stored, and passed around without naming K), and re-typed
+	// inside New[K, V] with a descriptive panic on mismatch.
+	hasher any
+}
+
+// defaultInitialCapacity is the starting cell count of growing tables
+// (the paper's growing benchmarks start at 4096).
+const defaultInitialCapacity = 4096
+
+// defaultStringExpected sizes string-keyed maps when neither WithBounded
+// nor WithCapacity is given. The §5.7 complex-key table is bounded, so a
+// default bound must exist; 1<<16 keeps the untuned footprint at ~2 MiB.
+const defaultStringExpected = 1 << 16
+
+// Option configures a typed map built by New.
+type Option func(*config)
+
+// WithStrategy picks the growing variant (§7); default UAGrow, the
+// paper's headline configuration. Ignored by bounded and string-keyed
+// maps, which have no migration machinery.
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithCapacity sets the initial cell count of growing tables (rounded up
+// to a power of two by the core). For string-keyed maps — which are
+// bounded, §5.7 — it is the expected element count instead.
+func WithCapacity(cells uint64) Option {
+	return func(c *config) { c.capacity = cells }
+}
+
+// WithBounded disables growing: the word core becomes a folklore table
+// (§4) with capacity 2×expected, the paper's sizing rule. Inserting
+// beyond the bound panics, exactly like the low-level table.
+func WithBounded(expected uint64) Option {
+	return func(c *config) {
+		c.bounded = true
+		c.expected = expected
+	}
+}
+
+// WithTSX routes write operations through emulated restricted memory
+// transactions (§6). Word-keyed maps only; string-keyed and generic-key
+// maps ignore it for their non-word state.
+func WithTSX() Option {
+	return func(c *config) { c.tsx = true }
+}
+
+// WithHasher supplies the 64-bit hash used by maps whose keys take the
+// generic route (anything that is not a built-in integer, bool, or
+// string type). K must equal the map's key type or New panics. The
+// facade is collision-correct — equal hashes are resolved by comparing
+// stored keys — so the hasher only affects performance, never results.
+func WithHasher[K comparable](h func(K) uint64) Option {
+	return func(c *config) { c.hasher = h }
+}

@@ -1,0 +1,676 @@
+package growt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/stringmap"
+	"repro/internal/tables"
+)
+
+// This file is the typed public layer over the paper's word-sized cores:
+// one generic Map[K, V] in front of folklore, the four xyGrow variants,
+// the §5.6 full-key wrapper, and the §5.7 string map. New routes the key
+// type to the right backend:
+//
+//   - built-in integer and bool keys → the full-key wrapper over the
+//     configured word core (§5.6), so the whole value range of the Go
+//     type is legal, including 0 and the reserved bit patterns;
+//   - string keys → the complex-key string table (§5.7);
+//   - every other comparable key → a hash-to-64-bit codec: the word core
+//     maps the key's hash to the head of a collision chain of typed
+//     entries in an append-only arena. Equality is decided on the stored
+//     keys, never on hashes, so any hash function is correct.
+//
+// Values ride the codec layer in codec.go: inline when they fit the
+// word domain, behind an indirection arena otherwise.
+
+// Map is a shared typed concurrent hash table built by New. The zero
+// value is not usable.
+//
+// Two access disciplines are offered. The paper's explicit one (§5.1):
+// call Handle once per goroutine and use the handle's methods — fastest,
+// no synchronization beyond the table's own. And a handle-free,
+// sync.Map-shaped one: Load / Store / LoadOrStore / Compute / Delete on
+// the Map itself, which borrow a handle from an internal free list per
+// call. The free list is a fixed-capacity channel rather than a
+// sync.Pool: core handles register per-handle state with the table
+// (busy flags, size counters) that is never deregistered, so handles
+// must be recycled, not GC-churned.
+type Map[K comparable, V any] struct {
+	b       backend[K, V]
+	handles chan *Handle[K, V] // free list for the handle-free methods
+	created atomic.Int64       // free-list handles made; capped at cap(handles)
+}
+
+// Handle is a goroutine-private accessor to a typed map (§5.1). Create
+// one per goroutine with Map.Handle; never share one between goroutines.
+type Handle[K comparable, V any] struct {
+	h backendHandle[K, V]
+}
+
+// backend is the per-key-route engine behind a typed map.
+type backend[K comparable, V any] interface {
+	newHandle() backendHandle[K, V]
+	approxSize() uint64
+	close()
+	rangeAll(fn func(K, V) bool)
+}
+
+// backendHandle mirrors the five primitives of §4 on typed operands.
+type backendHandle[K comparable, V any] interface {
+	insert(k K, v V) bool
+	update(k K, d V, up func(cur, d V) V) bool
+	insertOrUpdate(k K, d V, up func(cur, d V) V) bool
+	find(k K) (V, bool)
+	del(k K) bool
+}
+
+// New builds a typed concurrent hash table. The default is the paper's
+// headline configuration — a growing uaGrow core starting at 4096 cells;
+// see WithStrategy, WithCapacity, WithBounded, WithTSX, and WithHasher.
+//
+// One exception to "growing by default": string-keyed maps ride the
+// bounded §5.7 complex-key table. They hold at most WithBounded's (or
+// WithCapacity's) expected element count — 2^16 if neither is given —
+// and panic when full.
+//
+//	counts := growt.New[string, uint64](growt.WithBounded(1 << 20))
+//	edges := growt.New[uint64, uint64](growt.WithStrategy(growt.USGrow))
+//	memo := growt.New[Point, Result](growt.WithHasher(hashPoint))
+func New[K comparable, V any](opts ...Option) *Map[K, V] {
+	c := config{strategy: UAGrow}
+	for _, o := range opts {
+		o(&c)
+	}
+	var b backend[K, V]
+	switch {
+	case isStringKey[K]():
+		b = newStringBackend[K, V](&c)
+	default:
+		if kenc, kdec, ok := wordKeyCodec[K](); ok {
+			b = newWordBackend[K, V](&c, kenc, kdec)
+		} else {
+			b = newGenericBackend[K, V](&c)
+		}
+	}
+	return &Map[K, V]{
+		b:       b,
+		handles: make(chan *Handle[K, V], 8*runtime.GOMAXPROCS(0)),
+	}
+}
+
+// Handle returns a new goroutine-private accessor (§5.1).
+func (m *Map[K, V]) Handle() *Handle[K, V] {
+	return &Handle[K, V]{h: m.b.newHandle()}
+}
+
+// Close releases background resources if the map owns any (the dedicated
+// migration pools of paGrow/psGrow). Safe on every map.
+func (m *Map[K, V]) Close() { m.b.close() }
+
+// ApproxSize estimates the number of live elements (§5.2). String-keyed
+// and generic-keyed maps count exactly; word-keyed growing maps return
+// the paper's approximate per-handle-counter estimate.
+func (m *Map[K, V]) ApproxSize() uint64 { return m.b.approxSize() }
+
+// Range calls fn for every element until fn returns false. Like every
+// Range in this repository it is for quiescent use only: concurrent
+// writers may be partially observed.
+func (m *Map[K, V]) Range(fn func(k K, v V) bool) { m.b.rangeAll(fn) }
+
+// Insert stores ⟨k,v⟩ if k is absent. Returns true iff this call
+// inserted the element; exactly one of several concurrent inserters of
+// the same key succeeds (§4).
+func (h *Handle[K, V]) Insert(k K, v V) bool { return h.h.insert(k, v) }
+
+// Update atomically changes the value of k to up(current, d); returns
+// false if k is absent (§4's functional update interface).
+func (h *Handle[K, V]) Update(k K, d V, up func(cur, d V) V) bool {
+	return h.h.update(k, d, up)
+}
+
+// InsertOrUpdate inserts ⟨k,d⟩ if absent, else updates like Update.
+// Returns true iff an insert was performed.
+func (h *Handle[K, V]) InsertOrUpdate(k K, d V, up func(cur, d V) V) bool {
+	return h.h.insertOrUpdate(k, d, up)
+}
+
+// Find returns a copy of the value stored at k.
+func (h *Handle[K, V]) Find(k K) (V, bool) { return h.h.find(k) }
+
+// Delete removes k; returns true iff k was present.
+func (h *Handle[K, V]) Delete(k K) bool { return h.h.del(k) }
+
+// acquire borrows a free-listed handle for one handle-free operation.
+// At most cap(m.handles) handles are ever created for the free list —
+// beyond that, acquire blocks until one is released. The hard cap
+// matters because core handles register per-handle state with the table
+// (busy flags, size counters) that has no deregistration path.
+func (m *Map[K, V]) acquire() *Handle[K, V] {
+	select {
+	case h := <-m.handles:
+		return h
+	default:
+	}
+	if m.created.Add(1) <= int64(cap(m.handles)) {
+		return m.Handle()
+	}
+	m.created.Add(-1)
+	return <-m.handles
+}
+
+// release returns a handle to the free list. The send cannot block:
+// handles in circulation never exceed the channel capacity.
+func (m *Map[K, V]) release(h *Handle[K, V]) {
+	m.handles <- h
+}
+
+// Load returns the value stored at k (handle-free).
+func (m *Map[K, V]) Load(k K) (V, bool) {
+	h := m.acquire()
+	v, ok := h.Find(k)
+	m.release(h)
+	return v, ok
+}
+
+// Store sets the value for k, inserting or overwriting (handle-free).
+func (m *Map[K, V]) Store(k K, v V) {
+	h := m.acquire()
+	h.InsertOrUpdate(k, v, Replace[V])
+	m.release(h)
+}
+
+// LoadOrStore returns the existing value for k if present; otherwise it
+// stores and returns v. loaded is true if the value was already present.
+func (m *Map[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	h := m.acquire()
+	defer m.release(h)
+	for {
+		if cur, ok := h.Find(k); ok {
+			return cur, true
+		}
+		if h.Insert(k, v) {
+			return v, false
+		}
+	}
+}
+
+// Compute inserts ⟨k,d⟩ if absent, else atomically replaces the value
+// with up(current, d); true iff an insert happened (handle-free
+// InsertOrUpdate).
+func (m *Map[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
+	h := m.acquire()
+	ok := h.InsertOrUpdate(k, d, up)
+	m.release(h)
+	return ok
+}
+
+// Delete removes k (handle-free); true iff k was present.
+func (m *Map[K, V]) Delete(k K) bool {
+	h := m.acquire()
+	ok := h.Delete(k)
+	m.release(h)
+	return ok
+}
+
+// Number collects the types usable with Add.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// Add is the typed update function that adds the operand to the stored
+// value — the facade's analogue of AddFn for atomic aggregation.
+func Add[V Number](cur, d V) V { return cur + d }
+
+// Replace is the typed update function that overwrites the stored value
+// with the operand — the facade's analogue of Overwrite.
+func Replace[V any](_, d V) V { return d }
+
+// newWordCore builds the §5.6 full-key wrapper over the word core chosen
+// by the options; shared by the integer and generic key routes. Routing
+// through NewMap keeps the variant selection and its defaults in exactly
+// one place.
+func newWordCore(c *config) *core.FullKeys {
+	return core.NewFullKeys(func() tables.Interface {
+		return NewMap(Options{
+			Strategy:        c.strategy,
+			InitialCapacity: c.capacity,
+			Bounded:         c.bounded,
+			Expected:        c.expected,
+			TSX:             c.tsx,
+		})
+	})
+}
+
+// hasherFor resolves the generic-route hash function: the WithHasher
+// option if given (type-checked against K), else the default.
+func hasherFor[K comparable](c *config) func(K) uint64 {
+	if c.hasher == nil {
+		return defaultHasher[K]()
+	}
+	h, ok := c.hasher.(func(K) uint64)
+	if !ok {
+		var zk K
+		panic(fmt.Sprintf("growt: WithHasher function is %T, map key type is %T", c.hasher, zk))
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------
+// Integer/bool keys: codec over the full-key word core (§5.6).
+
+type wordBackend[K comparable, V any] struct {
+	fk   *core.FullKeys
+	kenc func(K) uint64
+	kdec func(uint64) K
+	vc   *valCodec[V]
+}
+
+func newWordBackend[K comparable, V any](c *config, kenc func(K) uint64, kdec func(uint64) K) *wordBackend[K, V] {
+	return &wordBackend[K, V]{fk: newWordCore(c), kenc: kenc, kdec: kdec, vc: newValCodec[V]()}
+}
+
+func (b *wordBackend[K, V]) newHandle() backendHandle[K, V] {
+	return &wordHandle[K, V]{b: b, h: b.fk.Handle()}
+}
+func (b *wordBackend[K, V]) approxSize() uint64 { return b.fk.ApproxSize() }
+func (b *wordBackend[K, V]) close()             { b.fk.Close() }
+func (b *wordBackend[K, V]) rangeAll(fn func(K, V) bool) {
+	b.fk.Range(func(k, w uint64) bool { return fn(b.kdec(k), b.vc.dec(w)) })
+}
+
+type wordHandle[K comparable, V any] struct {
+	b *wordBackend[K, V]
+	h tables.Handle
+}
+
+func (h *wordHandle[K, V]) insert(k K, v V) bool {
+	kw := h.b.kenc(k)
+	if w, inline := h.b.vc.tryEnc(v); inline {
+		return h.h.Insert(kw, w)
+	}
+	// Arena-bound value: probe first so a refused insert does not orphan
+	// a slot (racy probes only cost the orphan, never correctness).
+	if _, present := h.h.Find(kw); present {
+		return false
+	}
+	return h.h.Insert(kw, h.b.vc.enc(v))
+}
+
+func (h *wordHandle[K, V]) update(k K, d V, up func(cur, d V) V) bool {
+	return h.h.Update(h.b.kenc(k), 0, func(cur, _ uint64) uint64 {
+		return h.b.vc.enc(up(h.b.vc.dec(cur), d))
+	})
+}
+
+func (h *wordHandle[K, V]) insertOrUpdate(k K, d V, up func(cur, d V) V) bool {
+	kw := h.b.kenc(k)
+	wrapped := func(cur, _ uint64) uint64 {
+		return h.b.vc.enc(up(h.b.vc.dec(cur), d))
+	}
+	if w, inline := h.b.vc.tryEnc(d); inline {
+		return h.h.InsertOrUpdate(kw, w, wrapped)
+	}
+	// Arena-bound operand: try the update path first so the steady-state
+	// (key present) case never encodes d, which would orphan one slot
+	// per call.
+	if h.h.Update(kw, 0, wrapped) {
+		return false
+	}
+	return h.h.InsertOrUpdate(kw, h.b.vc.enc(d), wrapped)
+}
+
+func (h *wordHandle[K, V]) find(k K) (V, bool) {
+	w, ok := h.h.Find(h.b.kenc(k))
+	if !ok {
+		var zv V
+		return zv, false
+	}
+	return h.b.vc.dec(w), true
+}
+
+func (h *wordHandle[K, V]) del(k K) bool { return h.h.Delete(h.b.kenc(k)) }
+
+// ---------------------------------------------------------------------
+// String keys: codec over the complex-key table (§5.7).
+
+type stringBackend[K comparable, V any] struct {
+	sm *stringmap.Map
+	vc *valCodec[V]
+}
+
+func newStringBackend[K comparable, V any](c *config) *stringBackend[K, V] {
+	expected := c.expected
+	if !c.bounded {
+		expected = c.capacity
+	}
+	if expected == 0 {
+		expected = defaultStringExpected
+	}
+	return &stringBackend[K, V]{sm: stringmap.New(expected), vc: newValCodec[V]()}
+}
+
+func (b *stringBackend[K, V]) newHandle() backendHandle[K, V] {
+	return &stringHandle[K, V]{b: b, h: b.sm.Handle()}
+}
+func (b *stringBackend[K, V]) approxSize() uint64 { return b.sm.Size() }
+func (b *stringBackend[K, V]) close()             {}
+func (b *stringBackend[K, V]) rangeAll(fn func(K, V) bool) {
+	b.sm.Range(func(s string, w uint64) bool { return fn(fromString[K](s), b.vc.dec(w)) })
+}
+
+type stringHandle[K comparable, V any] struct {
+	b *stringBackend[K, V]
+	h *stringmap.Handle
+}
+
+func (h *stringHandle[K, V]) insert(k K, v V) bool {
+	s := asString(k)
+	if w, inline := h.b.vc.tryEnc(v); inline {
+		return h.h.Insert(s, w)
+	}
+	if _, present := h.h.Find(s); present {
+		return false
+	}
+	return h.h.Insert(s, h.b.vc.enc(v))
+}
+
+func (h *stringHandle[K, V]) update(k K, d V, up func(cur, d V) V) bool {
+	return h.h.Update(asString(k), 0, func(cur, _ uint64) uint64 {
+		return h.b.vc.enc(up(h.b.vc.dec(cur), d))
+	})
+}
+
+func (h *stringHandle[K, V]) insertOrUpdate(k K, d V, up func(cur, d V) V) bool {
+	s := asString(k)
+	wrapped := func(cur, _ uint64) uint64 {
+		return h.b.vc.enc(up(h.b.vc.dec(cur), d))
+	}
+	if w, inline := h.b.vc.tryEnc(d); inline {
+		return h.h.InsertOrUpdate(s, w, wrapped)
+	}
+	if h.h.Update(s, 0, wrapped) {
+		return false
+	}
+	return h.h.InsertOrUpdate(s, h.b.vc.enc(d), wrapped)
+}
+
+func (h *stringHandle[K, V]) find(k K) (V, bool) {
+	w, ok := h.h.Find(asString(k))
+	if !ok {
+		var zv V
+		return zv, false
+	}
+	return h.b.vc.dec(w), true
+}
+
+func (h *stringHandle[K, V]) del(k K) bool { return h.h.Delete(asString(k)) }
+
+// ---------------------------------------------------------------------
+// Generic comparable keys: hash-to-64-bit codec. The word core maps the
+// key's hash (through the full-key wrapper, so every hash value is a
+// legal word key) to the 1-based arena reference of the head of a
+// collision chain; chain entries hold the real key, an atomically
+// swappable value pointer (nil = deleted), and the next link. Chains are
+// append-only — the word cell for a hash is written once and entries are
+// never unlinked, so all mutation is a single CAS on a value pointer or
+// a next link.
+
+const entryPageSize = 256
+
+type entry[K comparable, V any] struct {
+	key  K
+	val  atomic.Pointer[V] // nil = logically deleted
+	next atomic.Uint64     // 1-based ref of next chain entry; 0 = end
+}
+
+type entryArena[K comparable, V any] struct {
+	mu    sync.Mutex // page extension only
+	n     atomic.Uint64
+	pages atomic.Pointer[[]*[entryPageSize]entry[K, V]]
+}
+
+// alloc publishes a new entry holding ⟨k, vp⟩ and returns its 1-based
+// reference. Indices are reserved with an atomic bump (the lock is taken
+// only to extend the page directory), so concurrent inserters of
+// distinct keys do not serialize. The caller must link the reference
+// into the word table or a chain (or abandon it by nilling val) for it
+// to become/stay meaningful.
+func (a *entryArena[K, V]) alloc(k K, vp *V) uint64 {
+	idx := a.n.Add(1) - 1
+	page := idx / entryPageSize
+	for {
+		var pages []*[entryPageSize]entry[K, V]
+		if p := a.pages.Load(); p != nil {
+			pages = *p
+		}
+		if page < uint64(len(pages)) {
+			e := &pages[page][idx%entryPageSize]
+			e.key = k
+			e.val.Store(vp)
+			return idx + 1
+		}
+		a.extend(page)
+	}
+}
+
+// extend grows the page directory to cover page (copy-on-write).
+func (a *entryArena[K, V]) extend(page uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var cur []*[entryPageSize]entry[K, V]
+	if p := a.pages.Load(); p != nil {
+		cur = *p
+	}
+	if page < uint64(len(cur)) {
+		return
+	}
+	next := make([]*[entryPageSize]entry[K, V], page+1)
+	copy(next, cur)
+	for i := len(cur); i < len(next); i++ {
+		next[i] = new([entryPageSize]entry[K, V])
+	}
+	a.pages.Store(&next)
+}
+
+func (a *entryArena[K, V]) get(ref uint64) *entry[K, V] {
+	idx := ref - 1
+	pages := *a.pages.Load()
+	return &pages[idx/entryPageSize][idx%entryPageSize]
+}
+
+type genericBackend[K comparable, V any] struct {
+	fk   *core.FullKeys
+	hash func(K) uint64
+	ar   entryArena[K, V]
+	size atomic.Int64
+}
+
+func newGenericBackend[K comparable, V any](c *config) *genericBackend[K, V] {
+	return &genericBackend[K, V]{fk: newWordCore(c), hash: hasherFor[K](c)}
+}
+
+func (b *genericBackend[K, V]) newHandle() backendHandle[K, V] {
+	return &genericHandle[K, V]{b: b, h: b.fk.Handle()}
+}
+
+func (b *genericBackend[K, V]) approxSize() uint64 {
+	n := b.size.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}
+
+func (b *genericBackend[K, V]) close() { b.fk.Close() }
+
+// rangeAll walks the arena directly: every live (non-abandoned,
+// non-deleted) entry is exactly one element. Reserved-but-unwritten
+// indices (a writer between bump and page extension) are clamped away;
+// like every Range here, quiescent use only.
+func (b *genericBackend[K, V]) rangeAll(fn func(K, V) bool) {
+	n := b.ar.n.Load()
+	var pages []*[entryPageSize]entry[K, V]
+	if p := b.ar.pages.Load(); p != nil {
+		pages = *p
+	}
+	if avail := uint64(len(pages)) * entryPageSize; n > avail {
+		n = avail
+	}
+	for idx := uint64(0); idx < n; idx++ {
+		e := &pages[idx/entryPageSize][idx%entryPageSize]
+		if p := e.val.Load(); p != nil {
+			if !fn(e.key, *p) {
+				return
+			}
+		}
+	}
+}
+
+type genericHandle[K comparable, V any] struct {
+	b *genericBackend[K, V]
+	h tables.Handle
+}
+
+// findEntry walks the collision chain for k; nil if no entry carries k.
+func (h *genericHandle[K, V]) findEntry(k K) *entry[K, V] {
+	head, ok := h.h.Find(h.b.hash(k))
+	if !ok {
+		return nil
+	}
+	e := h.b.ar.get(head)
+	for {
+		if e.key == k {
+			return e
+		}
+		nx := e.next.Load()
+		if nx == 0 {
+			return nil
+		}
+		e = h.b.ar.get(nx)
+	}
+}
+
+// upsert is the shared insert / insert-or-update machinery. With up==nil
+// a present key refuses (insert semantics); otherwise it is atomically
+// updated. Returns true iff an insert (or tombstone revival) happened.
+func (h *genericHandle[K, V]) upsert(k K, d V, up func(cur, d V) V) bool {
+	hash := h.b.hash(k)
+	dp := &d
+	ref := uint64(0) // lazily allocated new entry; 0 = none yet
+	published := false
+	defer func() {
+		// An allocated entry that lost every race must not stay visible
+		// to Range: nil its value to abandon it (the slot itself leaks,
+		// like all arena space, until the map is collected).
+		if ref != 0 && !published {
+			h.b.ar.get(ref).val.Store(nil)
+		}
+	}()
+	ensure := func() uint64 {
+		if ref == 0 {
+			ref = h.b.ar.alloc(k, dp)
+		}
+		return ref
+	}
+	for {
+		head, ok := h.h.Find(hash)
+		if !ok {
+			if h.h.Insert(hash, ensure()) {
+				published = true
+				h.b.size.Add(1)
+				return true
+			}
+			continue // lost the word-cell race; re-find the winner's chain
+		}
+		e := h.b.ar.get(head)
+		for {
+			if e.key == k {
+				for {
+					p := e.val.Load()
+					if p == nil {
+						// Deleted entry: revive it with d.
+						if e.val.CompareAndSwap(nil, dp) {
+							h.b.size.Add(1)
+							return true
+						}
+						continue
+					}
+					if up == nil {
+						return false
+					}
+					nv := up(*p, d)
+					if e.val.CompareAndSwap(p, &nv) {
+						return false
+					}
+				}
+			}
+			nx := e.next.Load()
+			if nx == 0 {
+				if e.next.CompareAndSwap(0, ensure()) {
+					published = true
+					h.b.size.Add(1)
+					return true
+				}
+				nx = e.next.Load()
+			}
+			e = h.b.ar.get(nx)
+		}
+	}
+}
+
+func (h *genericHandle[K, V]) insert(k K, v V) bool { return h.upsert(k, v, nil) }
+
+func (h *genericHandle[K, V]) insertOrUpdate(k K, d V, up func(cur, d V) V) bool {
+	return h.upsert(k, d, up)
+}
+
+func (h *genericHandle[K, V]) update(k K, d V, up func(cur, d V) V) bool {
+	e := h.findEntry(k)
+	if e == nil {
+		return false
+	}
+	for {
+		p := e.val.Load()
+		if p == nil {
+			return false
+		}
+		nv := up(*p, d)
+		if e.val.CompareAndSwap(p, &nv) {
+			return true
+		}
+	}
+}
+
+func (h *genericHandle[K, V]) find(k K) (V, bool) {
+	if e := h.findEntry(k); e != nil {
+		if p := e.val.Load(); p != nil {
+			return *p, true
+		}
+	}
+	var zv V
+	return zv, false
+}
+
+func (h *genericHandle[K, V]) del(k K) bool {
+	e := h.findEntry(k)
+	if e == nil {
+		return false
+	}
+	for {
+		p := e.val.Load()
+		if p == nil {
+			return false
+		}
+		if e.val.CompareAndSwap(p, nil) {
+			h.b.size.Add(-1)
+			return true
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package growt_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	growt "repro"
+)
+
+// point is the struct-key instantiation exercised by the conformance
+// suite: it takes the generic hash-codec route with the default
+// (fingerprint) hasher, and its string values ride the indirection arena.
+type point struct{ X, Y int32 }
+
+// nodeID is a named integer type; named types fall off the built-in fast
+// paths onto the generic route, optionally with a user hasher.
+type nodeID uint64
+
+// conformance drives one typed map instantiation through every primitive
+// of §4 plus the facade's handle-free methods, against a model map.
+func conformance[K comparable, V comparable](t *testing.T, m *growt.Map[K, V],
+	key func(i int) K, val func(i int) V) {
+	t.Helper()
+	defer m.Close()
+	const n = 300
+	h := m.Handle()
+
+	// Insert wins once; duplicate inserts refuse.
+	for i := 0; i < n; i++ {
+		if !h.Insert(key(i), val(i)) {
+			t.Fatalf("insert %v", key(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if h.Insert(key(i), val(i+1)) {
+			t.Fatalf("duplicate insert %v succeeded", key(i))
+		}
+	}
+
+	// Find returns stored values; absent keys miss.
+	for i := 0; i < n; i++ {
+		if v, ok := h.Find(key(i)); !ok || v != val(i) {
+			t.Fatalf("find %v = %v,%v want %v", key(i), v, ok, val(i))
+		}
+	}
+	for i := n; i < n+20; i++ {
+		if _, ok := h.Find(key(i)); ok {
+			t.Fatalf("find absent %v succeeded", key(i))
+		}
+	}
+
+	// ApproxSize is within the §5.2 estimator's tolerance (string and
+	// generic routes are exact, the word route is approximate).
+	if s := m.ApproxSize(); s < n/2 || s > 2*n {
+		t.Fatalf("approx size %d for %d elements", s, n)
+	}
+
+	// Functional update (§4): present keys update, absent keys refuse.
+	for i := 0; i < n; i++ {
+		if !h.Update(key(i), val(i+1), growt.Replace[V]) {
+			t.Fatalf("update %v", key(i))
+		}
+		if v, _ := h.Find(key(i)); v != val(i+1) {
+			t.Fatalf("update %v left %v want %v", key(i), v, val(i+1))
+		}
+	}
+	if h.Update(key(n+5), val(0), growt.Replace[V]) {
+		t.Fatal("update of absent key succeeded")
+	}
+
+	// InsertOrUpdate: update path on present keys, insert path on absent.
+	for i := 0; i < n; i++ {
+		if h.InsertOrUpdate(key(i), val(i), growt.Replace[V]) {
+			t.Fatalf("insertOrUpdate %v reported insert for present key", key(i))
+		}
+	}
+	if !h.InsertOrUpdate(key(n), val(n), growt.Replace[V]) {
+		t.Fatal("insertOrUpdate of absent key reported update")
+	}
+
+	// Range sees exactly the live elements, with their current values.
+	seen := map[K]V{}
+	m.Range(func(k K, v V) bool { seen[k] = v; return true })
+	if len(seen) != n+1 {
+		t.Fatalf("range saw %d elements, want %d", len(seen), n+1)
+	}
+	for i := 0; i <= n; i++ {
+		if seen[key(i)] != val(i) {
+			t.Fatalf("range %v = %v want %v", key(i), seen[key(i)], val(i))
+		}
+	}
+
+	// Early-exit Range stops.
+	calls := 0
+	m.Range(func(K, V) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("range after false continued: %d calls", calls)
+	}
+
+	// Delete removes; double delete refuses; deleted keys revive.
+	for i := 0; i < n; i += 2 {
+		if !h.Delete(key(i)) {
+			t.Fatalf("delete %v", key(i))
+		}
+		if h.Delete(key(i)) {
+			t.Fatalf("double delete %v succeeded", key(i))
+		}
+		if _, ok := h.Find(key(i)); ok {
+			t.Fatalf("deleted %v still found", key(i))
+		}
+	}
+	if !h.Insert(key(0), val(7)) {
+		t.Fatal("re-insert of deleted key refused")
+	}
+	if v, ok := h.Find(key(0)); !ok || v != val(7) {
+		t.Fatalf("revived key(0) = %v,%v", v, ok)
+	}
+
+	// Handle-free sync.Map-shaped surface.
+	m.Store(key(n+1), val(1))
+	if v, ok := m.Load(key(n + 1)); !ok || v != val(1) {
+		t.Fatalf("store/load = %v,%v", v, ok)
+	}
+	m.Store(key(n+1), val(2)) // overwrite
+	if v, _ := m.Load(key(n + 1)); v != val(2) {
+		t.Fatalf("store overwrite left %v", v)
+	}
+	if actual, loaded := m.LoadOrStore(key(n+1), val(3)); !loaded || actual != val(2) {
+		t.Fatalf("loadOrStore present = %v,%v", actual, loaded)
+	}
+	if actual, loaded := m.LoadOrStore(key(n+2), val(3)); loaded || actual != val(3) {
+		t.Fatalf("loadOrStore absent = %v,%v", actual, loaded)
+	}
+	if !m.Compute(key(n+3), val(4), growt.Replace[V]) {
+		t.Fatal("compute insert path")
+	}
+	if m.Compute(key(n+3), val(5), growt.Replace[V]) {
+		t.Fatal("compute update path reported insert")
+	}
+	if v, _ := m.Load(key(n + 3)); v != val(5) {
+		t.Fatalf("compute left %v", v)
+	}
+	if !m.Delete(key(n + 3)) {
+		t.Fatal("handle-free delete")
+	}
+}
+
+func TestTypedConformance(t *testing.T) {
+	u64key := func(i int) uint64 { return uint64(i) * 0x9E3779B9 } // includes 0
+	u64val := func(i int) uint64 { return uint64(i) + 1 }
+	strkey := func(i int) string { return fmt.Sprintf("key-%d", i) }
+	ptkey := func(i int) point { return point{X: int32(i), Y: int32(-i)} }
+	strval := func(i int) string { return fmt.Sprintf("value-%d", i) }
+
+	t.Run("uint64-uint64-default", func(t *testing.T) {
+		conformance(t, growt.New[uint64, uint64](), u64key, u64val)
+	})
+	t.Run("uint64-uint64-usgrow", func(t *testing.T) {
+		conformance(t, growt.New[uint64, uint64](growt.WithStrategy(growt.USGrow)), u64key, u64val)
+	})
+	t.Run("uint64-uint64-pool", func(t *testing.T) {
+		conformance(t, growt.New[uint64, uint64](growt.WithStrategy(growt.PSGrow)), u64key, u64val)
+	})
+	t.Run("uint64-uint64-bounded", func(t *testing.T) {
+		conformance(t, growt.New[uint64, uint64](growt.WithBounded(2000)), u64key, u64val)
+	})
+	t.Run("uint64-uint64-tsx", func(t *testing.T) {
+		conformance(t, growt.New[uint64, uint64](growt.WithTSX()), u64key, u64val)
+	})
+	t.Run("string-uint64", func(t *testing.T) {
+		conformance(t, growt.New[string, uint64](), strkey, u64val)
+	})
+	t.Run("string-string-arena-values", func(t *testing.T) {
+		conformance(t, growt.New[string, string](growt.WithBounded(2000)), strkey, strval)
+	})
+	t.Run("struct-string", func(t *testing.T) {
+		conformance(t, growt.New[point, string](), ptkey, strval)
+	})
+	t.Run("struct-struct", func(t *testing.T) {
+		conformance(t, growt.New[point, point](), ptkey, func(i int) point {
+			return point{X: int32(i + 1), Y: int32(i + 2)}
+		})
+	})
+	t.Run("named-key-with-hasher", func(t *testing.T) {
+		m := growt.New[nodeID, uint64](growt.WithHasher(func(k nodeID) uint64 {
+			return uint64(k) * 0xff51afd7ed558ccd
+		}))
+		conformance(t, m, func(i int) nodeID { return nodeID(i) }, u64val)
+	})
+	t.Run("int32-int16", func(t *testing.T) {
+		conformance(t, growt.New[int32, int16](),
+			func(i int) int32 { return int32(i - 150) }, // negative keys
+			func(i int) int16 { return int16(i - 200) }) // negative values
+	})
+	t.Run("bool-key", func(t *testing.T) {
+		m := growt.New[bool, int]()
+		defer m.Close()
+		m.Store(true, 1)
+		m.Store(false, 2)
+		if v, _ := m.Load(true); v != 1 {
+			t.Fatal("bool key true")
+		}
+		if v, _ := m.Load(false); v != 2 {
+			t.Fatal("bool key false")
+		}
+	})
+}
+
+// TestTypedWideIntegerValues drives the inline/arena escape split: 64-bit
+// values above 2^61 (and all negatives) must survive the indirection.
+func TestTypedWideIntegerValues(t *testing.T) {
+	t.Run("uint64", func(t *testing.T) {
+		m := growt.New[uint64, uint64]()
+		defer m.Close()
+		for _, v := range []uint64{0, 1, 1<<61 - 1, 1 << 61, 1 << 62, 1 << 63, ^uint64(0)} {
+			m.Store(42, v)
+			if got, ok := m.Load(42); !ok || got != v {
+				t.Fatalf("roundtrip %#x = %#x,%v", v, got, ok)
+			}
+		}
+	})
+	t.Run("int64-negative", func(t *testing.T) {
+		m := growt.New[int64, int64]()
+		defer m.Close()
+		for _, v := range []int64{-1, -1 << 62, 9e18, -9e18, 0, 5} {
+			k := v * 3 // negative keys too (full-key wrapper)
+			m.Store(k, v)
+			if got, ok := m.Load(k); !ok || got != v {
+				t.Fatalf("roundtrip k=%d v=%d = %d,%v", k, v, got, ok)
+			}
+		}
+	})
+	t.Run("escaped-update", func(t *testing.T) {
+		// Atomic aggregation across the inline/escape boundary.
+		m := growt.New[uint64, uint64]()
+		defer m.Close()
+		m.Store(1, 1<<61-2)
+		for i := 0; i < 4; i++ {
+			m.Compute(1, 1, growt.Add) // crosses 2^61 on the 2nd add
+		}
+		if v, _ := m.Load(1); v != 1<<61+2 {
+			t.Fatalf("escaped aggregation = %#x", v)
+		}
+	})
+}
+
+// TestTypedFloatZeroStructKey: ±0.0 compare equal, so struct keys
+// containing a negative-zero float must hash onto the same entry as
+// their positive-zero twin (regression: the fmt-fingerprint hasher
+// printed "{0}" vs "{-0}").
+func TestTypedFloatZeroStructKey(t *testing.T) {
+	type fkey struct{ F float64 }
+	negZero := math.Copysign(0, -1)
+	m := growt.New[fkey, int]()
+	defer m.Close()
+	m.Store(fkey{0}, 1)
+	if v, ok := m.Load(fkey{negZero}); !ok || v != 1 {
+		t.Fatalf("Load({-0}) = %v,%v after Store({+0}, 1)", v, ok)
+	}
+	m.Store(fkey{negZero}, 2) // must overwrite, not duplicate
+	n := 0
+	m.Range(func(fkey, int) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("±0 keys split into %d entries", n)
+	}
+	if !m.Delete(fkey{0}) {
+		t.Fatal("delete via +0 after store via -0")
+	}
+	if _, ok := m.Load(fkey{negZero}); ok {
+		t.Fatal("key survived delete")
+	}
+}
+
+// TestTypedInterfaceKeys: interface types satisfy comparable as type
+// arguments (Go 1.20+); ==-equal interface keys must hash onto one entry
+// even across float ±0 (regression: the fmt fallback printed "0" vs
+// "-0" for any-boxed floats).
+func TestTypedInterfaceKeys(t *testing.T) {
+	m := growt.New[any, int]()
+	defer m.Close()
+	m.Store(any(0.0), 1)
+	if v, ok := m.Load(any(math.Copysign(0, -1))); !ok || v != 1 {
+		t.Fatalf("Load(any(-0)) = %v,%v after Store(any(+0))", v, ok)
+	}
+	m.Store(any("s"), 2)
+	m.Store(any(uint64(7)), 3)
+	m.Store(any(nil), 4)
+	if v, _ := m.Load(any("s")); v != 2 {
+		t.Fatal("string-typed any key")
+	}
+	if v, _ := m.Load(any(uint64(7))); v != 3 {
+		t.Fatal("uint64-typed any key")
+	}
+	if v, _ := m.Load(any(nil)); v != 4 {
+		t.Fatal("nil any key")
+	}
+	// int(7) and uint64(7) are different dynamic types, hence different keys.
+	if _, ok := m.Load(any(int(7))); ok {
+		t.Fatal("int(7) must not alias uint64(7)")
+	}
+	n := 0
+	m.Range(func(any, int) bool { n++; return true })
+	if n != 4 {
+		t.Fatalf("range saw %d entries, want 4", n)
+	}
+}
+
+// TestTypedRangeMutation: a Range callback may mutate the map, including
+// the full-key wrapper's special-slot keys (0, 2^63-1, ...) — regression
+// for Range holding the special-slot lock across the callback.
+func TestTypedRangeMutation(t *testing.T) {
+	m := growt.New[uint64, uint64]()
+	defer m.Close()
+	m.Store(0, 1) // key 0 lives in a FullKeys special slot
+	m.Store(^uint64(0), 2)
+	deleted := 0
+	m.Range(func(k, _ uint64) bool {
+		if m.Delete(k) {
+			deleted++
+		}
+		return true
+	})
+	if deleted != 2 {
+		t.Fatalf("deleted %d of 2 during Range", deleted)
+	}
+	if s := m.ApproxSize(); s != 0 {
+		t.Fatalf("size %d after deleting everything", s)
+	}
+}
+
+// TestTypedHasherMismatch checks the descriptive panic when WithHasher's
+// key type disagrees with the map's.
+func TestTypedHasherMismatch(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic for mismatched hasher")
+		}
+	}()
+	growt.New[point, int](growt.WithHasher(func(k uint64) uint64 { return k }))
+}
+
+// raceSmoke hammers the handle-free Load/Store/Compute/Delete path from
+// many goroutines on overlapping keys; run with -race this is the data
+// race check of the pooled-handle discipline and both codec layers. The
+// per-key increment totals are verified exactly.
+func raceSmoke[K comparable](t *testing.T, m *growt.Map[K, uint64], key func(i int) K) {
+	t.Helper()
+	defer m.Close()
+	const (
+		workers = 8
+		keys    = 64
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := key((r + w) % keys)
+				m.Compute(k, 1, growt.Add)
+				m.Load(k)
+				if r%16 == w%16 {
+					// Churn a private key so deletes never disturb the
+					// counted increments.
+					priv := key(keys + w)
+					m.Store(priv, uint64(r))
+					m.LoadOrStore(priv, 1)
+					m.Delete(priv)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < keys; i++ {
+		v, ok := m.Load(key(i))
+		if !ok {
+			t.Fatalf("counter %d lost", i)
+		}
+		total += v
+	}
+	if want := uint64(workers * rounds); total != want {
+		t.Fatalf("lost updates: total %d want %d", total, want)
+	}
+}
+
+func TestTypedConcurrentSmoke(t *testing.T) {
+	t.Run("uint64", func(t *testing.T) {
+		raceSmoke(t, growt.New[uint64, uint64](), func(i int) uint64 { return uint64(i) })
+	})
+	t.Run("string", func(t *testing.T) {
+		raceSmoke(t, growt.New[string, uint64](), func(i int) string {
+			return fmt.Sprintf("counter-%d", i)
+		})
+	})
+	t.Run("struct", func(t *testing.T) {
+		raceSmoke(t, growt.New[point, uint64](), func(i int) point {
+			return point{X: int32(i), Y: int32(i * 7)}
+		})
+	})
+	t.Run("uint64-tsx", func(t *testing.T) {
+		raceSmoke(t, growt.New[uint64, uint64](growt.WithTSX()), func(i int) uint64 { return uint64(i) })
+	})
+}
+
+// TestTypedConcurrentHandles is the explicit-handle analogue: one handle
+// per goroutine, as the paper prescribes (§5.1).
+func TestTypedConcurrentHandles(t *testing.T) {
+	m := growt.New[uint64, uint64](growt.WithStrategy(growt.USGrow))
+	defer m.Close()
+	const workers, perKey = 4, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Handle()
+			for j := 0; j < perKey; j++ {
+				h.InsertOrUpdate(uint64(j%100), 1, growt.Add)
+			}
+		}()
+	}
+	wg.Wait()
+	h := m.Handle()
+	var sum uint64
+	for k := uint64(0); k < 100; k++ {
+		v, _ := h.Find(k)
+		sum += v
+	}
+	if sum != workers*perKey {
+		t.Fatalf("sum %d want %d", sum, workers*perKey)
+	}
+}
