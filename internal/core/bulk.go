@@ -35,8 +35,9 @@ func BuildFolklore(elems []KV, p int) *Folklore {
 // grow wrapper on top).
 func BuildGrow(strategy Strategy, elems []KV, p int) *Grow {
 	g := NewGrow(strategy, 2*uint64(len(elems))+16)
-	bulkFill(g.cur.Load(), elems, p)
-	g.c.ins.Store(g.cur.Load().countLive())
+	t := g.cur.Load()
+	bulkFill(t, elems, p)
+	t.c.ins.Store(t.countLive())
 	return g
 }
 
@@ -114,7 +115,20 @@ func bulkFill(t *Table, elems []KV, p int) {
 					local = append(local, x.e)
 					continue
 				}
-				t.storeVal(pos, x.e.Val|liveBit)
+				// Exclusion proof: t is private to this bulkFill call (the
+				// Build* constructors hand it a freshly allocated table with
+				// no published handles and no migration object), and worker
+				// cell ranges [cellLo, cellHi) are disjoint, so no other
+				// writer — in particular no marking migrator — can touch
+				// this value word. The CAS (instead of the former plain
+				// store) enforces that proof at runtime: if the exclusion is
+				// ever broken, a concurrently set markedBit makes the CAS
+				// fail loudly here instead of being silently overwritten,
+				// which would detach the cell from the migration protocol
+				// and lose the element (the lost-op bug family).
+				if !t.casVal(pos, 0, x.e.Val|liveBit) {
+					panic("core: bulkFill value CAS failed — builder tables must be private until construction completes")
+				}
 				t.storeKey(pos, x.e.Key)
 			}
 			if len(local) > 0 {

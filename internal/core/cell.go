@@ -28,6 +28,50 @@
 // Keys are therefore 63-bit (0 reserved) and values 62-bit; the FullKeys
 // wrapper (fullkeys.go) restores the complete 64-bit key space with the
 // two-subtable construction of §5.6.
+//
+// # Cell state machine
+//
+// Key word states: E = 0 (empty), P = k|pending (claim in flight),
+// K = k (published), F = frozenKey (migration-frozen empty cell).
+// Value word states: Z = 0, L = live (liveBit set, marked clear),
+// T = tombstone (liveBit and markedBit clear, key published),
+// M = marked (markedBit set, any other bits).
+//
+// Legal transitions and the only writer allowed to perform each:
+//
+//	key word                             value word
+//	E ─casKey──▶ P   claiming inserter   Z ─casVal──▶ L   the cell's claiming inserter
+//	P ─storeKey▶ K   same inserter       L ─casVal──▶ L'  any updater (update/upsert/add)
+//	E ─casKey──▶ F   migrator            L ─casVal──▶ T   any deleter (clears liveBit)
+//	                                     T ─casVal──▶ L   any inserter (tombstone revival)
+//	                                     v ─casVal──▶ v|M migrator (mark; idempotent)
+//
+// K and F are terminal for the key word; M is terminal for the value word.
+// Invariants the protocol rests on:
+//
+//  1. The key word is written at most twice, both times by the unique
+//     claiming inserter (or once, by the unique freezing migrator). Once
+//     published or frozen it never changes, so a value-word CAS loop that
+//     validated the key beforehand can never act on a foreign cell.
+//  2. Every non-mark value mutation is a CAS whose expected value was
+//     loaded after checking markedBit, so it fails if a migrator marked
+//     the cell in between — no update can land after (or be lost by) the
+//     migration copy, which reads the value only after setting the mark.
+//  3. A claim that loses the value-word race against a mark (casVal(Z→L)
+//     fails) publishes its key anyway and leaves the cell dead AND marked
+//     (key K, value M with liveBit clear): probe chains treat it as a
+//     tombstone, stabilize treats it as consumed-by-migration, and the
+//     insert retries in the next generation. Both views agree the element
+//     is absent from this generation.
+//  4. Value words of unpublished cells (key E or P) are written only by
+//     the cell's claiming inserter and the marking migrator — so a failed
+//     casVal(Z→L) proves markedBit was set, which insertCore asserts.
+//
+// Migration arming (grow.go) has its own generation invariant: a
+// migration may only be armed for the table that is *still current* once
+// the migration slot is held, re-validated after the slot CAS (see
+// Grow.arm). Violating it republishes a retired generation's snapshot and
+// silently rolls back operations — the historical lost-op bug.
 package core
 
 import (
@@ -81,6 +125,19 @@ type Table struct {
 	shift    uint // index = hash >> shift (scaled mapping, §5.3.1)
 	logCap   uint
 	probeCap uint64 // min(capacity, longProbeLimit)
+
+	// c is this generation's approximate element count (§5.2), owned by
+	// the Grow wrapper. Counters live per generation — not on Grow — so a
+	// migration can seed the new generation with the exact moved count
+	// while late flushes of deltas earned on the retired generation land
+	// harmlessly in the retired generation's counters. A single shared
+	// counter would have to be destructively reset at the flip, and any
+	// handle flushing a pre-flip delta afterwards would double-count
+	// elements already included in the moved total (overcounting breaks
+	// the estimate's undercount-only guarantee). The bounded wrappers
+	// (Folklore, TSXFolklore) keep their own counters and leave this one
+	// zero.
+	c counters
 }
 
 // NewTable allocates a zeroed generation with capacity rounded up to a
@@ -169,15 +226,23 @@ func (t *Table) insertCore(k, d uint64) opStatus {
 		kw := t.loadKey(i)
 		if kw == 0 {
 			if t.casKey(i, 0, k|pendingBit) {
-				// Publish the value, then the key. The CAS fails only if a
-				// migrator marked this empty cell first.
+				// Publish the value, then the key. Only the marking migrator
+				// may write the value word of an unpublished cell (protocol
+				// invariant 4), so this CAS fails only against a mark.
 				if t.casVal(i, 0, d|liveBit) {
 					t.storeKey(i, k)
 					return statusInserted
 				}
-				// Marked mid-claim: publish the key as a dead cell so that
-				// probers never spin on our pending bit, then retry in the
-				// next generation (the marked dead cell migrates to nothing).
+				// Marked mid-claim: the consumed cell must end dead AND
+				// marked (protocol invariant 3) so that probe chains (which
+				// see a tombstone) and stabilize (which sees a consumed,
+				// dead cell it will not copy) agree the element is absent
+				// here. Publishing the key also guarantees probers never
+				// spin on our pending bit. The insert then retries in the
+				// next generation.
+				if t.loadVal(i)&markedBit == 0 {
+					panic("core: claim value CAS failed on an unmarked cell — cell protocol violated")
+				}
 				t.storeKey(i, k)
 				return statusMarked
 			}
@@ -205,11 +270,27 @@ func (t *Table) insertCore(k, d uint64) opStatus {
 				if t.casVal(i, v, d|liveBit) {
 					return statusInserted
 				}
+				t.recheckKey(i, k)
 			}
 		}
 		i = (i + 1) & mask
 	}
 	return statusFull
+}
+
+// recheckKey re-validates, after a failed value-word CAS, that cell i
+// still belongs to key k. Today this can never fire: a published key word
+// is terminal (state machine above), so a value CAS can only lose against
+// other value-word writers of the same key's cell. The re-check pins that
+// assumption down — if cell reuse or key-word recycling is ever
+// introduced, every update/delete/revive loop fails loudly here instead
+// of silently acting on a cell that was re-claimed between its key load
+// and its value CAS. It sits on CAS-failure paths only, so it costs
+// nothing on uncontended operations.
+func (t *Table) recheckKey(i, k uint64) {
+	if kw := t.loadKey(i) & keyMask; kw != k {
+		panic(fmt.Sprintf("core: cell %d changed owner %#x → %#x under a value CAS — published key words must be immutable", i, k, kw))
+	}
 }
 
 // updateCore applies up to the element with key k.
@@ -239,6 +320,7 @@ func (t *Table) updateCore(k, d uint64, up func(cur, d uint64) uint64) opStatus 
 				if t.casVal(i, v, nv) {
 					return statusUpdated
 				}
+				t.recheckKey(i, k)
 			}
 		}
 		i = (i + 1) & mask
@@ -258,6 +340,11 @@ func (t *Table) insertOrUpdateCore(k, d uint64, up func(cur, d uint64) uint64) o
 				if t.casVal(i, 0, d|liveBit) {
 					t.storeKey(i, k)
 					return statusInserted
+				}
+				// Marked mid-claim: leave the cell dead AND marked, exactly
+				// as insertCore does (protocol invariant 3).
+				if t.loadVal(i)&markedBit == 0 {
+					panic("core: claim value CAS failed on an unmarked cell — cell protocol violated")
 				}
 				t.storeKey(i, k)
 				return statusMarked
@@ -283,12 +370,14 @@ func (t *Table) insertOrUpdateCore(k, d uint64, up func(cur, d uint64) uint64) o
 					if t.casVal(i, v, d|liveBit) {
 						return statusInserted
 					}
+					t.recheckKey(i, k)
 					continue
 				}
 				nv := up(v&valueMask, d)&valueMask | liveBit
 				if t.casVal(i, v, nv) {
 					return statusUpdated
 				}
+				t.recheckKey(i, k)
 			}
 		}
 		i = (i + 1) & mask
@@ -299,7 +388,18 @@ func (t *Table) insertOrUpdateCore(k, d uint64, up func(cur, d uint64) uint64) o
 // insertOrAddCore is the fetch-and-add specialization of insertOrUpdate
 // used by the synchronized variants (usGrow/psGrow), mirroring the
 // paper's partial template specialization of atomicUpdate (§4). It must
-// only be called when migration marking cannot run concurrently.
+// only be called when migration marking cannot run concurrently: the
+// unconditional addVal below cannot lose against a mark the way a CAS
+// does, so an addend landing after the mark would corrupt the marked
+// value word and be silently dropped by the copy — the same bug family as
+// the stale-arm migration race. The exclusion holds today because every
+// caller is either the bounded Folklore table (never marks) or a
+// synchronized growing variant (writers drained via busy flags before
+// marking-free migration, §5.3.2 "Prevent Concurrent Updates"); the
+// marking variants route InsertOrAdd through the CAS-loop
+// insertOrUpdateCore instead. The addVal result is asserted below so any
+// future violation of this contract fails loudly rather than losing the
+// update.
 func (t *Table) insertOrAddCore(k, d uint64) opStatus {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
@@ -311,6 +411,10 @@ func (t *Table) insertOrAddCore(k, d uint64) opStatus {
 				if t.casVal(i, 0, d|liveBit) {
 					t.storeKey(i, k)
 					return statusInserted
+				}
+				// Marked mid-claim (protocol invariant 3): dead AND marked.
+				if t.loadVal(i)&markedBit == 0 {
+					panic("core: claim value CAS failed on an unmarked cell — cell protocol violated")
 				}
 				t.storeKey(i, k)
 				return statusMarked
@@ -334,17 +438,47 @@ func (t *Table) insertOrAddCore(k, d uint64) opStatus {
 					if t.casVal(i, v, d|liveBit) {
 						return statusInserted
 					}
+					t.recheckKey(i, k)
 					continue
 				}
 				// Live: unconditional fetch-and-add on the value word. A
-				// racing delete can clear the live bit first; the result
-				// tells us and we compensate by retrying on the dead cell.
+				// racing delete can clear the live bit first; the pre-add
+				// word (nv - d is exact: addVal returns old + our d) tells
+				// us which case we hit.
 				nv := t.addVal(i, d)
-				if nv&liveBit != 0 {
+				pre := nv - d
+				if nv&markedBit != 0 {
+					if pre&markedBit != 0 {
+						// The addend landed on an already-marked word; the
+						// migration copy may already have read the value, so
+						// the update would be lost. The caller broke the
+						// writers-excluded contract above.
+						panic("core: insertOrAddCore raced a marking migration — synchronized-mode exclusion violated")
+					}
+					// The sum itself carried out of the 62-bit value domain
+					// through the live bit into the marked bit. The pre-fix
+					// code silently corrupted the cell in this case; failing
+					// loudly is the only honest option short of saturating
+					// arithmetic.
+					panic(fmt.Sprintf("core: InsertOrAdd sum overflowed the 62-bit value domain for key %#x", k))
+				}
+				if pre&liveBit != 0 {
+					// The cell was live when the add landed; nv's live bit
+					// is still set (a carry out of the value bits would have
+					// reached markedBit and panicked above).
 					return statusUpdated
 				}
-				// Our addend landed in a tombstone; it is invisible (dead
-				// cells' value bits are ignored). Retry the revive path.
+				// The addend landed in a tombstone: it is invisible only
+				// while the dead cell's value bits stay below the live bit.
+				// A large residue (earlier adds that also landed dead) plus
+				// d can carry INTO the live bit, making the dead cell read
+				// as live with a garbage value — a silent resurrection the
+				// old code's "retry the revive path" comment overlooked.
+				// Undoing the add races other writers, so fail loudly; the
+				// benign no-carry case retries the revive path as before.
+				if nv&liveBit != 0 {
+					panic(fmt.Sprintf("core: InsertOrAdd addend carried into the live bit of a tombstone for key %#x (value domain overflow on a dead cell)", k))
+				}
 			}
 		}
 		i = (i + 1) & mask
@@ -406,6 +540,7 @@ func (t *Table) deleteCore(k uint64) opStatus {
 				if t.casVal(i, v, v&^liveBit) {
 					return statusUpdated
 				}
+				t.recheckKey(i, k)
 			}
 		}
 		i = (i + 1) & mask

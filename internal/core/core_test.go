@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -76,6 +78,26 @@ func TestFolkloreInsertOrUpdate(t *testing.T) {
 	if v, _ := h.Find(5); v != 20 {
 		t.Fatalf("got %d", v)
 	}
+}
+
+// TestInsertOrAddOverflowPanics: a fetch-and-add whose sum leaves the
+// 62-bit value domain must fail loudly (it used to silently corrupt the
+// cell's live/marked bits), and the panic must name overflow — not the
+// migration-exclusion violation that shares the detection bit.
+func TestInsertOrAddOverflowPanics(t *testing.T) {
+	f := NewFolklore(16)
+	h := f.Handle().(*folkloreHandle)
+	h.InsertOrAdd(5, 1<<61)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overflowing InsertOrAdd did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "overflowed") {
+			t.Fatalf("wrong panic for overflow: %v", msg)
+		}
+	}()
+	h.InsertOrAdd(5, 1<<61) // 2^61 + 2^61 = 2^62 > MaxValue
 }
 
 func TestFolkloreInsertOrAdd(t *testing.T) {
@@ -537,52 +559,8 @@ func TestConcurrentInsertFindPublication(t *testing.T) {
 	}
 }
 
-// TestConcurrentDeleteInsert: concurrent alternating insert/delete on a
-// sliding window from several goroutines with disjoint key ranges.
-func TestConcurrentDeleteInsert(t *testing.T) {
-	for _, s := range allStrategies() {
-		s := s
-		t.Run(s.String(), func(t *testing.T) {
-			g := NewGrow(s, 1<<12)
-			defer g.Close()
-			const goroutines = 4
-			const perG = 40000
-			const window = 1024
-			var wg sync.WaitGroup
-			for i := 0; i < goroutines; i++ {
-				wg.Add(1)
-				go func(id uint64) {
-					defer wg.Done()
-					h := g.Handle()
-					base := id * 10_000_000
-					for j := uint64(1); j <= perG; j++ {
-						if !h.Insert(base+j, j) {
-							panic("insert failed")
-						}
-						if j > window {
-							if !h.Delete(base + j - window) {
-								panic("delete failed")
-							}
-						}
-					}
-				}(uint64(i))
-			}
-			wg.Wait()
-			h := g.Handle()
-			for i := uint64(0); i < goroutines; i++ {
-				base := i * 10_000_000
-				for j := uint64(perG - window + 1); j <= perG; j++ {
-					if v, ok := h.Find(base + j); !ok || v != j {
-						t.Fatalf("goroutine %d window key %d missing", i, j)
-					}
-				}
-				if _, ok := h.Find(base + 1); ok {
-					t.Fatalf("goroutine %d deleted key present", i)
-				}
-			}
-		})
-	}
-}
+// TestConcurrentDeleteInsert was promoted into the table-driven migration
+// torture suite in torture_test.go (same name, wider matrix).
 
 // TestConcurrentMixedChaos exercises every operation at once under
 // forced migrations and validates per-key invariants: each key's value is

@@ -82,3 +82,13 @@ func (lc *localCounter) flush(g *counters) {
 	}
 	lc.reroll()
 }
+
+// drop discards accumulated deltas without flushing them anywhere. Used
+// by the growing handles when their pending deltas were earned on a
+// generation that has since been migrated: the migration counted every
+// live element exactly, so the successor generation's counter base
+// already includes these events and flushing them would double-count.
+func (lc *localCounter) drop() {
+	lc.ins = 0
+	lc.del = 0
+}

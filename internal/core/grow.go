@@ -59,7 +59,6 @@ type Grow struct {
 	strategy Strategy
 	cur      atomic.Pointer[Table]
 	mig      atomic.Pointer[migration]
-	c        counters
 
 	// tx, when non-nil, routes all write operations (and migration
 	// marking) through emulated restricted transactions — the TSX-based
@@ -123,8 +122,9 @@ func (g *Grow) MemBytes() uint64 {
 	return b
 }
 
-// ApproxSize estimates the number of live elements (§5.2).
-func (g *Grow) ApproxSize() uint64 { return g.c.approxLive() }
+// ApproxSize estimates the number of live elements (§5.2), read from the
+// current generation's counters.
+func (g *Grow) ApproxSize() uint64 { return g.cur.Load().c.approxLive() }
 
 // Range iterates live elements; quiescent use only.
 func (g *Grow) Range(fn func(k, v uint64) bool) { g.cur.Load().rangeCore(fn) }
@@ -157,7 +157,7 @@ func (g *Grow) initiate(src *Table) {
 	if g.mig.Load() != nil || g.cur.Load() != src {
 		return
 	}
-	live := g.c.approxLive()
+	live := src.c.approxLive()
 	newCap := src.capacity * 2
 	if live < src.capacity/3 {
 		newCap = src.capacity // cleanup only
@@ -165,17 +165,60 @@ func (g *Grow) initiate(src *Table) {
 	if live < src.capacity/8 && src.capacity > 64 {
 		newCap = src.capacity / 2 // shrink
 	}
-	dst := NewTable(newCap)
+	m := g.migrationTo(src, NewTable(newCap))
+	if !g.arm(m) {
+		return // lost the slot or the generation race; ops help/wait and retry
+	}
+	g.launch(m)
+}
+
+// migrationTo builds a migration from src into dst whose completion seeds
+// dst's per-generation counters with the exact moved element count and
+// publishes dst as the current generation.
+func (g *Grow) migrationTo(src, dst *Table) *migration {
 	m := newMigration(src, dst, !g.strategy.synchronized(), func(moved uint64) {
-		g.c.ins.Store(moved)
-		g.c.del.Store(0)
+		// moved is exact (the copy visited every live element), so it is
+		// the new generation's counter base; deltas still pending in
+		// handles were earned on src and flush (or drop) against src.c.
+		dst.c.ins.Store(moved)
 		g.cur.Store(dst)
 		g.mig.Store(nil)
 	})
 	m.tx = g.tx
+	return m
+}
+
+// arm claims the migration slot for m, then re-validates that m.src is
+// still the current generation.
+//
+// The re-validation is what makes migration arming safe: the pre-arm guard
+// (mig == nil && cur == src) and the slot CAS are not one atomic step, so
+// an entire migration cycle — arm, copy, publish — can complete between
+// them (small tables migrate in a single block, so the window is wide in
+// practice). A CAS that succeeds after such an intervening cycle would arm
+// a migration whose src is a *retired* generation; running it would
+// republish a snapshot of that old generation as the current table,
+// silently rolling back every operation applied since the flip. This was
+// the root cause of the rare lost insert/delete under concurrent growth
+// (see TestStaleMigrationArmRefused for the deterministic replay).
+//
+// Once the CAS has succeeded the re-check is decisive: cur changes only in
+// an armed migration's onDone, and we hold the only slot, so cur == m.src
+// cannot be invalidated afterwards.
+func (g *Grow) arm(m *migration) bool {
 	if !g.mig.CompareAndSwap(nil, m) {
-		return // someone else started one; help/wait via the op retry loop
+		return false // someone else's migration is in flight
 	}
+	if g.cur.Load() != m.src {
+		g.mig.Store(nil) // release the slot first: stop new adoptions
+		m.abort()        // then release threads that already adopted m
+		return false
+	}
+	return true
+}
+
+// launch starts an armed migration per the strategy's recruitment policy.
+func (g *Grow) launch(m *migration) {
 	if g.strategy.synchronized() {
 		g.drainBusy()
 	}
@@ -232,7 +275,7 @@ func (g *Grow) maybeTrigger() {
 	if g.mig.Load() != nil {
 		return
 	}
-	if g.c.approxNonempty()*growFillDen >= t.capacity*growFillNum {
+	if t.c.approxNonempty()*growFillDen >= t.capacity*growFillNum {
 		g.initiate(t)
 	}
 }
@@ -246,35 +289,18 @@ func (g *Grow) ShrinkToFit() {
 		g.assist()
 		src = g.cur.Load()
 	}
-	live := g.c.approxLive()
+	live := src.c.approxLive()
 	target := NewTable(2*live + 16)
 	if target.capacity >= src.capacity {
 		return
 	}
-	m := newMigration(src, target, !g.strategy.synchronized(), func(moved uint64) {
-		g.c.ins.Store(moved)
-		g.c.del.Store(0)
-		g.cur.Store(target)
-		g.mig.Store(nil)
-	})
-	m.tx = g.tx
-	if !g.mig.CompareAndSwap(nil, m) {
+	m := g.migrationTo(src, target)
+	if !g.arm(m) {
 		g.assist()
 		return
 	}
-	if g.strategy.synchronized() {
-		g.drainBusy()
-	}
-	close(m.started)
-	if g.strategy.pooled() {
-		n := cap(g.poolCh)
-		for i := 0; i < n; i++ {
-			g.poolCh <- m
-		}
-		m.wait()
-		return
-	}
-	m.help()
+	g.launch(m)
+	m.wait()
 }
 
 // Handle returns a goroutine-private accessor (§5.1).
@@ -292,7 +318,32 @@ func (g *Grow) Handle() tables.Handle {
 type growHandle struct {
 	g    *Grow
 	lc   localCounter
+	gen  *Table    // generation the pending lc deltas were earned on
 	busy *pad.Bool // synchronized variants only
+}
+
+// bumpIns/bumpDel credit a successful operation to the generation it ran
+// on. Deltas still pending from an older generation are dropped first:
+// the migration that retired that generation counted every live element
+// exactly (the moved total seeding the successor's counters), so those
+// deltas are already represented and flushing them anywhere would
+// double-count — the overcount that used to push ApproxSize above the
+// exact element count.
+func (h *growHandle) bumpIns(t *Table) bool {
+	h.retag(t)
+	return h.lc.bumpIns(&t.c)
+}
+
+func (h *growHandle) bumpDel(t *Table) bool {
+	h.retag(t)
+	return h.lc.bumpDel(&t.c)
+}
+
+func (h *growHandle) retag(t *Table) {
+	if h.gen != t {
+		h.lc.drop()
+		h.gen = t
+	}
 }
 
 // enter begins an operation: in synchronized mode it raises the busy flag
@@ -361,7 +412,7 @@ func (h *growHandle) Insert(k, d uint64) bool {
 		}
 		switch h.doInsert(t, k, d) {
 		case statusInserted:
-			h.exit(h.lc.bumpIns(&h.g.c))
+			h.exit(h.bumpIns(t))
 			return true
 		case statusPresent:
 			h.exit(false)
@@ -408,7 +459,7 @@ func (h *growHandle) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
 		}
 		switch h.doUpsert(t, k, d, up) {
 		case statusInserted:
-			h.exit(h.lc.bumpIns(&h.g.c))
+			h.exit(h.bumpIns(t))
 			return true
 		case statusUpdated:
 			h.exit(false)
@@ -448,7 +499,7 @@ func (h *growHandle) InsertOrAdd(k, d uint64) bool {
 		}
 		switch st {
 		case statusInserted:
-			h.exit(h.lc.bumpIns(&h.g.c))
+			h.exit(h.bumpIns(t))
 			return true
 		case statusUpdated:
 			h.exit(false)
@@ -486,7 +537,7 @@ func (h *growHandle) Delete(k uint64) bool {
 		}
 		switch h.doDelete(t, k) {
 		case statusUpdated:
-			h.exit(h.lc.bumpDel(&h.g.c))
+			h.exit(h.bumpDel(t))
 			return true
 		case statusAbsent:
 			h.exit(false)

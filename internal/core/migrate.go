@@ -106,6 +106,20 @@ func (m *migration) help() {
 // threads in the pool variants, §5.3.2 "Using a Dedicated Thread Pool").
 func (m *migration) wait() { <-m.finished }
 
+// abort cancels an armed migration that must not run because its source is
+// a retired generation (Grow.arm detected the stale-src race after winning
+// the slot CAS). Threads that already adopted the migration through the
+// published pointer are released: presetting the block dealer past the end
+// makes help() fall through without dealing a block, so finalize/onDone
+// never run and the current-table pointer is untouched. The caller must
+// release the migration slot before calling abort. Must be called at most
+// once, before started is closed.
+func (m *migration) abort() {
+	m.nextBlock.Store(m.totalBlocks) // no block will ever be dealt
+	close(m.started)
+	close(m.finished)
+}
+
 // finalize runs after the block barrier: shrink leftovers are inserted
 // (phase 2), counters initialized, the table pointer flipped.
 func (m *migration) finalize() {
@@ -299,6 +313,13 @@ func (m *migration) copyCluster(start uint64) (consumed, moved uint64) {
 			u++
 		}
 		d := u & dmask
+		// Plain stores are safe here (marking-race audit): dst is not yet
+		// published, application writers only reach it after onDone flips
+		// the table pointer — which happens after the block barrier, hence
+		// after every copy store — and Lemma 1 makes this cluster's target
+		// range exclusive to this thread even among migrators. Value before
+		// key, as in the claim protocol, so a published key always has its
+		// value visible.
 		dst.storeVal(d, v&valueMask|liveBit)
 		dst.storeKey(d, k)
 		moved++
@@ -309,10 +330,20 @@ func (m *migration) copyCluster(start uint64) (consumed, moved uint64) {
 }
 
 // processShrinkBlock is phase 1 of the shrinking algorithm (§5.3.1): the
-// source block maps onto a disjoint target block; elements are placed
-// sequentially at the first free cell at or after their home position
-// inside the target block, and elements that do not fit are deferred to
-// phase 2 (finalize).
+// source block maps onto a disjoint target block; elements are placed at
+// the first free cell at or after their home position inside the target
+// block, and elements that do not fit are deferred to phase 2 (finalize).
+//
+// Each element's placement scan starts at its *own* home position, never
+// at a shared monotone cursor. A cursor would assume that source index
+// order implies nondecreasing target homes — which tombstone dropping
+// breaks: a key displaced far past its home (the cells in between were
+// occupied when it was inserted, then deleted to tombstones) can follow a
+// later-homed key in source order, and a cursor would place it past empty
+// target cells, making it unreachable by probing from its home (a
+// deterministic lost element; caught by the sliding-window torture suite).
+// Scanning from the home cell maintains the probe invariant for any
+// placement order, exactly like copyCluster's target scan.
 func (m *migration) processShrinkBlock(b uint64) uint64 {
 	src, dst := m.src, m.dst
 	begin := b * migBlockCells
@@ -323,7 +354,6 @@ func (m *migration) processShrinkBlock(b uint64) uint64 {
 	diff := src.logCap - dst.logCap
 	tb := begin >> diff
 	te := end >> diff
-	cursor := tb
 	var moved uint64
 	var left []kv
 	for i := begin; i < end; i++ {
@@ -332,19 +362,24 @@ func (m *migration) processShrinkBlock(b uint64) uint64 {
 			continue
 		}
 		tpos := dst.index(hashfn.Hash64(k))
-		if tpos > cursor {
-			cursor = tpos
-		}
-		for cursor < te && dst.loadKey(cursor) != 0 {
-			cursor++
-		}
-		if cursor >= te {
+		if tpos < tb || tpos >= te {
+			// Home outside this block's exclusive target range (the
+			// element's cluster crosses a block boundary, or wraps around
+			// the table end). Phase 1 must not write outside [tb, te), so
+			// defer to the exclusive phase 2, which probes the whole table.
 			left = append(left, kv{k, v & valueMask})
 			continue
 		}
-		dst.storeVal(cursor, v&valueMask|liveBit)
-		dst.storeKey(cursor, k)
-		cursor++
+		pos := tpos
+		for pos < te && dst.loadKey(pos) != 0 {
+			pos++
+		}
+		if pos >= te {
+			left = append(left, kv{k, v & valueMask})
+			continue
+		}
+		dst.storeVal(pos, v&valueMask|liveBit)
+		dst.storeKey(pos, k)
 		moved++
 	}
 	if len(left) > 0 {

@@ -16,6 +16,15 @@ import (
 // stores, mirroring the paper's observation that the sequential bodies
 // are simpler than the cmpxchg16b versions. Reads stay wait-free and
 // never touch transaction state.
+//
+// Marking-race audit: every plain storeVal below executes inside
+// r.Begin(i)/r.End(i) for the written cell and re-checks markedBit inside
+// the transaction before storing. Migration marking of TSX tables takes
+// the same per-cell stripe (migration.stabilize's tx branch), so a mark
+// can never interleave between a transactional writer's markedBit check
+// and its store — the plain stores here are therefore immune to the
+// mark-overwrite race that the atomic path prevents with value CAS
+// ordering (cell.go protocol invariant 2).
 
 // insertTSX is the transactional version of insertCore. Never uses the
 // pending bit: publication order (value before key) inside the stripe
