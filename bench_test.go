@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/bench/report"
 
 	_ "repro/internal/baselines"
 	_ "repro/internal/core"
@@ -35,15 +36,18 @@ func benchCfg(b *testing.B, tables ...string) *bench.Config {
 	return cfg
 }
 
-// report publishes each scenario result as a benchmark metric.
-func report(b *testing.B, results []bench.Result) {
+// publish reports each scenario result as a benchmark metric. The
+// metric is the median-of-repeats throughput (via the BENCH report
+// record) so a single noisy repeat cannot drag the published number;
+// with -repeat 1 the median equals the lone sample.
+func publish(b *testing.B, results []bench.Result) {
 	b.Helper()
-	for _, r := range results {
-		name := r.Table
-		if r.Param != 0 {
-			name = fmt.Sprintf("%s_p%g", r.Table, r.Param)
+	for _, rec := range report.FromResults(results) {
+		name := rec.Table
+		if rec.Param != 0 {
+			name = fmt.Sprintf("%s_p%g", rec.Table, rec.Param)
 		}
-		b.ReportMetric(r.MOps, name+"_MOps")
+		b.ReportMetric(rec.MedianMOps(), name+"_MOps")
 	}
 }
 
@@ -51,7 +55,7 @@ func runScenario(b *testing.B, f func(*bench.Config) []bench.Result, tables ...s
 	for i := 0; i < b.N; i++ {
 		results := f(benchCfg(b, tables...))
 		if i == b.N-1 {
-			report(b, results)
+			publish(b, results)
 		}
 	}
 }

@@ -119,7 +119,10 @@ func run(p int, total uint64, body func(worker int, lo, hi uint64)) time.Duratio
 	return time.Since(begin)
 }
 
-// Result is one measured data point.
+// Result is one measured data point. Seconds and MOps average the
+// Repeat runs (§8.3); Samples keeps each repeat's raw wall time so
+// BENCH_*.json reports serialize losslessly and comparisons can use
+// the median instead of the mean.
 type Result struct {
 	Exp     string
 	Table   string
@@ -127,6 +130,8 @@ type Result struct {
 	Param   float64 // skew s, write percentage, or capacity, per experiment
 	MOps    float64
 	Seconds float64
+	Samples []float64 // per-repeat wall seconds, unaveraged
+	Bytes   uint64    // live backing memory if measured (fig10), else 0
 	Extra   string
 }
 
@@ -175,11 +180,15 @@ func prefill(t tables.Interface, keys []uint64) {
 	}
 }
 
-// avgSeconds runs f Repeat times and returns the average seconds.
-func avgSeconds(repeat int, f func() time.Duration) float64 {
+// measure runs f repeat times and returns the average seconds plus
+// the raw per-repeat samples.
+func measure(repeat int, f func() time.Duration) (float64, []float64) {
+	samples := make([]float64, repeat)
 	var total time.Duration
 	for i := 0; i < repeat; i++ {
-		total += f()
+		d := f()
+		total += d
+		samples[i] = d.Seconds()
 	}
-	return total.Seconds() / float64(repeat)
+	return total.Seconds() / float64(repeat), samples
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 
 	_ "repro/internal/baselines"
 	_ "repro/internal/core"
@@ -44,6 +45,16 @@ func TestEveryExperimentRuns(t *testing.T) {
 			for _, r := range results {
 				if r.Seconds <= 0 || r.MOps <= 0 {
 					t.Fatalf("%s %s: degenerate measurement %+v", id, r.Table, r)
+				}
+				// Every data point must carry its raw repeats so BENCH
+				// reports serialize losslessly.
+				if len(r.Samples) != cfg.Repeat {
+					t.Fatalf("%s %s: %d samples, want Repeat=%d", id, r.Table, len(r.Samples), cfg.Repeat)
+				}
+				for _, s := range r.Samples {
+					if s <= 0 {
+						t.Fatalf("%s %s: non-positive sample %v", id, r.Table, r.Samples)
+					}
 				}
 			}
 		})
@@ -93,6 +104,25 @@ func TestZipfKeysRange(t *testing.T) {
 	for _, k := range keys {
 		if k < 1 || k > 500 {
 			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestMeasureKeepsSamples(t *testing.T) {
+	durs := []time.Duration{time.Second, 3 * time.Second, 2 * time.Second}
+	i := 0
+	avg, samples := measure(len(durs), func() time.Duration {
+		d := durs[i]
+		i++
+		return d
+	})
+	if avg != 2 {
+		t.Fatalf("avg %v, want 2", avg)
+	}
+	want := []float64{1, 3, 2}
+	for j := range want {
+		if samples[j] != want[j] {
+			t.Fatalf("samples %v, want %v (order preserved, unaveraged)", samples, want)
 		}
 	}
 }

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultTolerance is the fractional MOps drop a data point may show
+// before it counts as a regression. Smoke-scale runs (small -n, shared
+// CI hosts) are noisy even with median-of-repeats, so the default is
+// deliberately loose; tighten it per invocation once variance data for
+// a given environment accumulates.
+const DefaultTolerance = 0.35
+
+// Status classifies one compared data point.
+type Status string
+
+const (
+	StatusOK           Status = "ok"            // within tolerance
+	StatusRegression   Status = "regression"    // slower than baseline beyond tolerance
+	StatusImproved     Status = "improved"      // faster than baseline beyond tolerance
+	StatusBaselineOnly Status = "baseline-only" // in baseline, not measured now
+	StatusCurrentOnly  Status = "current-only"  // measured now, not in baseline
+)
+
+// Verdict is the per-scenario outcome of a comparison.
+type Verdict struct {
+	Key      string  `json:"key"`
+	Exp      string  `json:"exp"`
+	Table    string  `json:"table"`
+	Threads  int     `json:"threads"`
+	Param    float64 `json:"param,omitempty"`
+	BaseMOps float64 `json:"base_mops,omitempty"` // median-of-repeats
+	CurMOps  float64 `json:"cur_mops,omitempty"`  // median-of-repeats
+	Ratio    float64 `json:"ratio,omitempty"`     // cur/base; <1 is slower
+	Status   Status  `json:"status"`
+}
+
+// Comparison is the result of comparing a current report against a
+// baseline. Only matched keys can regress; keys present on one side
+// only are reported but never fail the gate (the smoke set is a
+// deliberate subset of the full sweep).
+type Comparison struct {
+	Tolerance    float64   `json:"tolerance"`
+	Verdicts     []Verdict `json:"verdicts"`
+	Matched      int       `json:"matched"`
+	Regressions  int       `json:"regressions"`
+	Improvements int       `json:"improvements"`
+	Warnings     []string  `json:"warnings,omitempty"`
+}
+
+// OK reports whether the gate passes: at least one data point matched
+// and none regressed beyond tolerance. Zero matches means the two
+// reports measured disjoint scenario cells — passing that silently
+// would make a misconfigured gate look green.
+func (c *Comparison) OK() bool { return c.Matched > 0 && c.Regressions == 0 }
+
+// Compare evaluates cur against base with the given fractional
+// tolerance (<=0 selects DefaultTolerance). Throughput on both sides
+// is the median of repeats. Config divergence (different N, Repeat, or
+// thread sweep) does not abort — rates mostly cancel op counts — but
+// is surfaced as warnings since it weakens the comparison.
+func Compare(base, cur *Report, tolerance float64) *Comparison {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	c := &Comparison{Tolerance: tolerance}
+	if base.Config.N != cur.Config.N {
+		c.Warnings = append(c.Warnings, fmt.Sprintf(
+			"baseline ran -n %d, current -n %d: growing/migration costs differ", base.Config.N, cur.Config.N))
+	}
+	if base.Config.Repeat != cur.Config.Repeat {
+		c.Warnings = append(c.Warnings, fmt.Sprintf(
+			"baseline ran -repeat %d, current -repeat %d: medians have different robustness",
+			base.Config.Repeat, cur.Config.Repeat))
+	}
+	if base.Env.NumCPU != cur.Env.NumCPU || base.Env.CPUModel != cur.Env.CPUModel {
+		c.Warnings = append(c.Warnings, fmt.Sprintf(
+			"environments differ (baseline %d×%q, current %d×%q): absolute rates are not comparable across hardware",
+			base.Env.NumCPU, base.Env.CPUModel, cur.Env.NumCPU, cur.Env.CPUModel))
+	}
+
+	baseByKey := make(map[string]Record, len(base.Results))
+	for _, r := range base.Results {
+		baseByKey[r.Key()] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		key := r.Key()
+		v := Verdict{Key: key, Exp: r.Exp, Table: r.Table, Threads: r.Threads, Param: r.Param}
+		b, ok := baseByKey[key]
+		if !ok {
+			v.CurMOps = r.MedianMOps()
+			v.Status = StatusCurrentOnly
+			c.Verdicts = append(c.Verdicts, v)
+			continue
+		}
+		seen[key] = true
+		c.Matched++
+		v.BaseMOps = b.MedianMOps()
+		v.CurMOps = r.MedianMOps()
+		switch {
+		case v.BaseMOps <= 0:
+			v.Status = StatusOK // degenerate baseline point cannot gate
+		default:
+			v.Ratio = v.CurMOps / v.BaseMOps
+			switch {
+			case v.Ratio < 1-tolerance:
+				v.Status = StatusRegression
+				c.Regressions++
+			case v.Ratio > 1+tolerance:
+				v.Status = StatusImproved
+				c.Improvements++
+			default:
+				v.Status = StatusOK
+			}
+		}
+		c.Verdicts = append(c.Verdicts, v)
+	}
+	for _, r := range base.Results {
+		if key := r.Key(); !seen[key] {
+			c.Verdicts = append(c.Verdicts, Verdict{
+				Key: key, Exp: r.Exp, Table: r.Table, Threads: r.Threads, Param: r.Param,
+				BaseMOps: r.MedianMOps(), Status: StatusBaselineOnly,
+			})
+		}
+	}
+	if c.Matched == 0 {
+		c.Warnings = append(c.Warnings,
+			"no data points matched the baseline: check -exp/-tables/-threads against the baseline's recorded command")
+	}
+	return c
+}
+
+// Format renders the comparison as the human-readable gate log.
+func (c *Comparison) Format(w io.Writer) {
+	for _, warn := range c.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+	fmt.Fprintf(w, "%-44s %-16s %10s %10s %7s  %s\n",
+		"experiment", "table", "base", "current", "ratio", "verdict")
+	for _, v := range c.Verdicts {
+		cell := v.Table
+		if v.Param != 0 {
+			cell = fmt.Sprintf("%s@%g", v.Table, v.Param)
+		}
+		if v.Threads != 0 {
+			cell = fmt.Sprintf("%s t%d", cell, v.Threads)
+		}
+		switch v.Status {
+		case StatusBaselineOnly:
+			fmt.Fprintf(w, "%-44s %-16s %10.2f %10s %7s  %s\n", v.Exp, cell, v.BaseMOps, "—", "—", v.Status)
+		case StatusCurrentOnly:
+			fmt.Fprintf(w, "%-44s %-16s %10s %10.2f %7s  %s\n", v.Exp, cell, "—", v.CurMOps, "—", v.Status)
+		default:
+			fmt.Fprintf(w, "%-44s %-16s %10.2f %10.2f %7.3f  %s\n",
+				v.Exp, cell, v.BaseMOps, v.CurMOps, v.Ratio, v.Status)
+		}
+	}
+	fmt.Fprintf(w, "matched %d, regressions %d, improvements %d (tolerance ±%.0f%%)\n",
+		c.Matched, c.Regressions, c.Improvements, c.Tolerance*100)
+}

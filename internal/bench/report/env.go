@@ -1,0 +1,61 @@
+package report
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// CaptureEnv snapshots the current process environment. Every field
+// beyond the runtime ones is best-effort: a missing git binary or an
+// unreadable /proc/cpuinfo leaves the field empty rather than failing
+// the run.
+func CaptureEnv() Environment {
+	env := Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		GitSHA:     gitSHA(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		env.Hostname = host
+	}
+	return env
+}
+
+// cpuModel extracts the first "model name" line from /proc/cpuinfo
+// (linux only; other platforms report empty).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// gitSHA resolves HEAD of the working tree the benchmark runs in,
+// with a "-dirty" suffix when tracked files are modified.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	// Untracked files (a freshly built binary, a report about to be
+	// written) don't change what code was measured — only tracked
+	// modifications make the SHA lie.
+	if status, err := exec.Command("git", "status", "--porcelain", "--untracked-files=no").Output(); err == nil &&
+		len(strings.TrimSpace(string(status))) > 0 {
+		sha += "-dirty"
+	}
+	return sha
+}

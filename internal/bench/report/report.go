@@ -1,0 +1,201 @@
+// Package report defines the versioned, machine-readable benchmark
+// report format (BENCH_*.json) for the §8 evaluation suite, plus the
+// noise-tolerant comparator behind `growbench -compare` and the CI
+// bench-smoke gate.
+//
+// A report captures everything needed to interpret a number months
+// later: the exact run configuration, the environment it ran in (go
+// version, GOMAXPROCS, CPU model, git SHA), the command that produced
+// it, and per-scenario results carrying the raw per-repeat samples so
+// comparisons can use the median instead of a mean that one noisy
+// repeat can drag.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// SchemaVersion is bumped on any incompatible change to the JSON
+// layout. Load rejects files written by a different major schema so a
+// stale baseline fails loudly instead of comparing garbage.
+const SchemaVersion = 1
+
+// Report is the root of a BENCH_*.json file.
+type Report struct {
+	SchemaVersion int         `json:"schema_version"`
+	GeneratedAt   string      `json:"generated_at,omitempty"` // RFC 3339 UTC
+	Command       string      `json:"command,omitempty"`      // how to regenerate this file
+	Env           Environment `json:"env"`
+	Config        RunConfig   `json:"config"`
+	Results       []Record    `json:"results"`
+}
+
+// Environment records where a report was measured. Throughput numbers
+// are only comparable within similar environments; the comparator
+// warns when configs diverge but cannot see hardware drift — that is
+// what these fields are for.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GitSHA     string `json:"git_sha,omitempty"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// RunConfig is the serializable subset of bench.Config.
+type RunConfig struct {
+	N       uint64    `json:"n"`
+	Threads []int     `json:"threads"`
+	Tables  []string  `json:"tables,omitempty"` // explicit filter, empty = scenario defaults
+	Skews   []float64 `json:"skews,omitempty"`
+	WPs     []int     `json:"wps,omitempty"`
+	Repeat  int       `json:"repeat"`
+}
+
+// Record is one measured data point — a lossless serialization of
+// bench.Result. SampleSecs holds the unaveraged wall time of each
+// repeat; Seconds and MOps are the harness's mean-of-repeats values.
+type Record struct {
+	Exp        string    `json:"exp"`
+	Table      string    `json:"table"`
+	Threads    int       `json:"threads"`
+	Param      float64   `json:"param,omitempty"`
+	ParamName  string    `json:"param_name,omitempty"` // skew | wp | size factor
+	MOps       float64   `json:"mops"`
+	Seconds    float64   `json:"seconds"`
+	SampleSecs []float64 `json:"sample_secs,omitempty"`
+	Bytes      uint64    `json:"bytes,omitempty"` // live backing memory (fig10)
+	Extra      string    `json:"extra,omitempty"`
+}
+
+// Key identifies a data point across reports: two records with equal
+// keys measure the same scenario cell and may be compared.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s|%s|t%d|p%g", r.Exp, r.Table, r.Threads, r.Param)
+}
+
+// MedianMOps recomputes throughput from the median repeat instead of
+// the mean. With the usual Repeat=3 this discards a single noisy run
+// entirely, which is what makes smoke-scale comparisons tolerable.
+// Falls back to the stored mean when samples are absent or degenerate.
+func (r Record) MedianMOps() float64 {
+	if len(r.SampleSecs) == 0 || r.Seconds <= 0 {
+		return r.MOps
+	}
+	s := append([]float64(nil), r.SampleSecs...)
+	sort.Float64s(s)
+	med := s[len(s)/2]
+	if len(s)%2 == 0 {
+		med = (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	if med <= 0 {
+		return r.MOps
+	}
+	// MOps·Seconds is the op count in millions; re-divide by the median.
+	return r.MOps * r.Seconds / med
+}
+
+// paramName labels the Param axis per experiment family, so a report
+// is self-describing without the harness's table headers.
+func paramName(exp string) string {
+	switch {
+	case strings.HasPrefix(exp, "fig4"), strings.HasPrefix(exp, "fig5"):
+		return "skew"
+	case strings.HasPrefix(exp, "fig7"):
+		return "wp"
+	case strings.HasPrefix(exp, "fig10"):
+		return "size factor"
+	}
+	return ""
+}
+
+// FromResults converts harness results into records.
+func FromResults(results []bench.Result) []Record {
+	recs := make([]Record, 0, len(results))
+	for _, r := range results {
+		recs = append(recs, Record{
+			Exp:        r.Exp,
+			Table:      r.Table,
+			Threads:    r.Threads,
+			Param:      r.Param,
+			ParamName:  paramName(r.Exp),
+			MOps:       r.MOps,
+			Seconds:    r.Seconds,
+			SampleSecs: append([]float64(nil), r.Samples...),
+			Bytes:      r.Bytes,
+			Extra:      r.Extra,
+		})
+	}
+	return recs
+}
+
+// New assembles a report from a run: config snapshot, captured
+// environment, current timestamp, and the converted results. command
+// records how to regenerate the file (satellite requirement: the
+// committed baseline must carry its generation command).
+func New(cfg *bench.Config, results []bench.Result, command string) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Command:       command,
+		Env:           CaptureEnv(),
+		Config: RunConfig{
+			N:       cfg.N,
+			Threads: cfg.Threads,
+			Tables:  cfg.Tables,
+			Skews:   cfg.Skews,
+			WPs:     cfg.WPs,
+			Repeat:  cfg.Repeat,
+		},
+		Results: FromResults(results),
+	}
+}
+
+// Write serializes the report as indented JSON (stable field order,
+// trailing newline) so committed baselines diff cleanly.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Save writes the report to path, creating or truncating it.
+func (r *Report) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads and validates a report file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report %s: %v", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("report %s: schema version %d, this binary reads %d — regenerate the file",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}

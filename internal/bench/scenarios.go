@@ -50,8 +50,8 @@ var (
 )
 
 // seqInsertSeconds measures the sequential baseline for speedup columns.
-func seqInsertSeconds(cfg *Config, keys []uint64, presized bool) float64 {
-	return avgSeconds(cfg.Repeat, func() time.Duration {
+func seqInsertSeconds(cfg *Config, keys []uint64, presized bool) (float64, []float64) {
+	return measure(cfg.Repeat, func() time.Duration {
 		capacity := uint64(4096)
 		if presized {
 			capacity = cfg.N
@@ -70,14 +70,14 @@ func seqInsertSeconds(cfg *Config, keys []uint64, presized bool) float64 {
 func insertScenario(cfg *Config, exp string, tableSet []string, presized bool) []Result {
 	cfg.Defaults()
 	keys := UniformKeys(cfg.N, 12345)
-	seqS := seqInsertSeconds(cfg, keys, presized)
+	seqS, seqSamples := seqInsertSeconds(cfg, keys, presized)
 	header(cfg.Out, exp, "—")
 	results := []Result{{Exp: exp, Table: "seq", Threads: 1,
-		MOps: float64(cfg.N) / seqS / 1e6, Seconds: seqS, Extra: "baseline"}}
+		MOps: float64(cfg.N) / seqS / 1e6, Seconds: seqS, Samples: seqSamples, Extra: "baseline"}}
 	results[0].print(cfg.Out, "%.0f")
 	for _, name := range tableSet {
 		for _, p := range cfg.Threads {
-			secs := avgSeconds(cfg.Repeat, func() time.Duration {
+			secs, samples := measure(cfg.Repeat, func() time.Duration {
 				capacity := uint64(4096)
 				if presized {
 					capacity = cfg.N
@@ -95,7 +95,7 @@ func insertScenario(cfg *Config, exp string, tableSet []string, presized bool) [
 				})
 			})
 			r := Result{Exp: exp, Table: name, Threads: p,
-				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs,
+				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples,
 				Extra: fmt.Sprintf("speedup %.2fx", seqS/secs)}
 			r.print(cfg.Out, "%.0f")
 			results = append(results, r)
@@ -129,7 +129,7 @@ func findScenario(cfg *Config, exp string, hit bool) []Result {
 		lookups = UniformKeys(cfg.N, 777) // fresh keys: almost surely absent
 	}
 	// Sequential baseline.
-	seqS := avgSeconds(cfg.Repeat, func() time.Duration {
+	seqS, seqSamples := measure(cfg.Repeat, func() time.Duration {
 		t := newTable("seq", cfg.N)
 		prefill(t, keys)
 		h := t.Handle()
@@ -144,14 +144,14 @@ func findScenario(cfg *Config, exp string, hit bool) []Result {
 	})
 	header(cfg.Out, exp, "—")
 	results := []Result{{Exp: exp, Table: "seq", Threads: 1,
-		MOps: float64(cfg.N) / seqS / 1e6, Seconds: seqS, Extra: "baseline"}}
+		MOps: float64(cfg.N) / seqS / 1e6, Seconds: seqS, Samples: seqSamples, Extra: "baseline"}}
 	results[0].print(cfg.Out, "%.0f")
 	for _, name := range cfg.tableSet(AllTables) {
 		t := newTable(name, cfg.N)
 		prefill(t, keys)
 		for _, p := range cfg.Threads {
 			hs := handlesFor(t, p)
-			secs := avgSeconds(cfg.Repeat, func() time.Duration {
+			secs, samples := measure(cfg.Repeat, func() time.Duration {
 				return run(p, cfg.N, func(w int, lo, hi uint64) {
 					h := hs[w]
 					var sink uint64
@@ -163,7 +163,7 @@ func findScenario(cfg *Config, exp string, hit bool) []Result {
 				})
 			})
 			r := Result{Exp: exp, Table: name, Threads: p,
-				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs,
+				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples,
 				Extra: fmt.Sprintf("speedup %.2fx", seqS/secs)}
 			r.print(cfg.Out, "%.0f")
 			results = append(results, r)
@@ -197,7 +197,7 @@ func contentionScenario(cfg *Config, exp string, update bool) []Result {
 		hs := handlesFor(t, p)
 		for _, s := range cfg.Skews {
 			zipf := ZipfKeys(cfg.N, universe, s, uint64(s*1000)+3)
-			secs := avgSeconds(cfg.Repeat, func() time.Duration {
+			secs, samples := measure(cfg.Repeat, func() time.Duration {
 				return run(p, cfg.N, func(w int, lo, hi uint64) {
 					h := hs[w]
 					if update {
@@ -215,7 +215,7 @@ func contentionScenario(cfg *Config, exp string, update bool) []Result {
 				})
 			})
 			r := Result{Exp: exp, Table: name, Threads: p, Param: s,
-				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs}
+				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples}
 			r.print(cfg.Out, "%.2f")
 			results = append(results, r)
 		}
@@ -248,7 +248,7 @@ func aggScenario(cfg *Config, exp string, presized bool) []Result {
 		}
 		for _, s := range cfg.Skews {
 			zipf := ZipfKeys(cfg.N, universe, s, uint64(s*1000)+11)
-			secs := avgSeconds(cfg.Repeat, func() time.Duration {
+			secs, samples := measure(cfg.Repeat, func() time.Duration {
 				capacity := uint64(4096)
 				if presized {
 					capacity = universe
@@ -272,7 +272,7 @@ func aggScenario(cfg *Config, exp string, presized bool) []Result {
 				})
 			})
 			r := Result{Exp: exp, Table: name, Threads: p, Param: s,
-				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs}
+				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples}
 			r.print(cfg.Out, "%.2f")
 			results = append(results, r)
 		}
@@ -303,7 +303,7 @@ func deleteScenario(cfg *Config, exp string, tableSet []string, includePhase boo
 	var results []Result
 	for _, name := range tableSet {
 		for _, p := range cfg.Threads {
-			secs := avgSeconds(cfg.Repeat, func() time.Duration {
+			secs, samples := measure(cfg.Repeat, func() time.Duration {
 				t := newTable(name, window*3/2) // 1.5× window, §8.4
 				defer closeTable(t)
 				prefill(t, keys[:window])
@@ -317,7 +317,7 @@ func deleteScenario(cfg *Config, exp string, tableSet []string, includePhase boo
 				})
 			})
 			r := Result{Exp: exp, Table: name, Threads: p,
-				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs,
+				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples,
 				Extra: "1 op = insert+delete"}
 			r.print(cfg.Out, "%.0f")
 			results = append(results, r)
@@ -339,7 +339,7 @@ func phaseDeleteRuns(cfg *Config, exp string, keys []uint64, window uint64) []Re
 	// it must fit the 1.5×window capacity alongside the live window.
 	round := window
 	for _, p := range cfg.Threads {
-		secs := avgSeconds(cfg.Repeat, func() time.Duration {
+		secs, samples := measure(cfg.Repeat, func() time.Duration {
 			t := newTable("phase", window*3/2)
 			prefill(t, keys[:window])
 			hs := handlesFor(t, p)
@@ -367,7 +367,7 @@ func phaseDeleteRuns(cfg *Config, exp string, keys []uint64, window uint64) []Re
 			return time.Since(begin)
 		})
 		r := Result{Exp: exp, Table: "phase", Threads: p,
-			MOps: float64(cfg.N) / secs / 1e6, Seconds: secs,
+			MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples,
 			Extra: "phased rounds"}
 		r.print(cfg.Out, "%.0f")
 		results = append(results, r)
@@ -418,7 +418,7 @@ func mixScenario(cfg *Config, exp string, presized bool) []Result {
 					ops[i] = op{key: insertKeys[j]}
 				}
 			}
-			secs := avgSeconds(cfg.Repeat, func() time.Duration {
+			secs, samples := measure(cfg.Repeat, func() time.Duration {
 				capacity := pre + uint64(float64(wp)/100*float64(cfg.N))
 				if !presized {
 					if SemiGrowers[name] {
@@ -446,7 +446,7 @@ func mixScenario(cfg *Config, exp string, presized bool) []Result {
 				})
 			})
 			r := Result{Exp: exp, Table: name, Threads: p, Param: float64(wp),
-				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs}
+				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples}
 			r.print(cfg.Out, "%.0f")
 			results = append(results, r)
 		}
@@ -498,7 +498,7 @@ func Fig10Memory(cfg *Config) []Result {
 	misses := UniformKeys(cfg.N, 888)
 	p := cfg.Threads[len(cfg.Threads)-1]
 	factors := []float64{0.5, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0}
-	header(cfg.Out, "fig10 memory vs miss-find throughput", "GiB")
+	header(cfg.Out, "fig10 memory vs miss-find throughput", "size factor")
 	var results []Result
 	for _, name := range cfg.tableSet(AllTables) {
 		caps, _ := tables.Lookup(name)
@@ -523,7 +523,7 @@ func Fig10Memory(cfg *Config) []Result {
 				bytes = mu.MemBytes()
 			}
 			hs := handlesFor(t, p)
-			secs := avgSeconds(cfg.Repeat, func() time.Duration {
+			secs, samples := measure(cfg.Repeat, func() time.Duration {
 				return run(p, cfg.N, func(w int, lo, hi uint64) {
 					h := hs[w]
 					var sink uint64
@@ -534,17 +534,19 @@ func Fig10Memory(cfg *Config) []Result {
 					_ = sink
 				})
 			})
-			gib := float64(bytes) / (1 << 30)
-			extra := ""
-			if f == 0 {
-				extra = "grown from 4096"
-			}
+			// Param is the deterministic sweep factor (the independent
+			// variable), so data points keep stable identities across
+			// reports; the measured footprint rides along in Bytes.
+			extra := fmt.Sprintf("%.3f GiB", float64(bytes)/(1<<30))
 			if bytes == 0 {
-				extra += " (no byte accounting)"
+				extra = "no byte accounting"
 			}
-			r := Result{Exp: "fig10", Table: name, Threads: p, Param: gib,
-				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Extra: extra}
-			r.print(cfg.Out, "%.3f")
+			if f == 0 {
+				extra += ", grown from 4096"
+			}
+			r := Result{Exp: "fig10", Table: name, Threads: p, Param: f, Bytes: bytes,
+				MOps: float64(cfg.N) / secs / 1e6, Seconds: secs, Samples: samples, Extra: extra}
+			r.print(cfg.Out, "%.2f")
 			results = append(results, r)
 			closeTable(t)
 		}
