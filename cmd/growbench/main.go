@@ -47,7 +47,7 @@ func main() {
 		tabs      = flag.String("tables", "", "comma-separated table filter")
 		skews     = flag.String("s", "", "comma-separated Zipf exponents")
 		wps       = flag.String("wp", "", "comma-separated write percentages")
-		repeat    = flag.Int("repeat", 3, "runs per data point (averaged; raw samples kept for -json)")
+		repeat    = flag.Int("repeat", 3, "runs per data point (comparisons use the median; raw samples kept for -json)")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut   = flag.String("json", "", "write results as a versioned BENCH report to this path")
 		compareTo = flag.String("compare", "", "baseline BENCH_*.json to gate against (exit 3 on regression)")

@@ -1,0 +1,123 @@
+// Command growd serves a typed concurrent map over TCP with the
+// pipelined binary protocol of internal/server (docs/PROTOCOL.md):
+// GET/SET/DEL/CAS/INCR/SIZE plus an in-protocol PING that doubles as
+// the health check. The table configuration mirrors the library's
+// functional options, so the served map is the same engine the
+// benchmarks measure.
+//
+//	growd                                  # uaGrow table on :7420
+//	growd -addr :9000 -strategy usGrow
+//	growd -capacity 1048576 -tsx
+//	growd -debug :8420                     # expvar counters at /debug/vars
+//
+// growd drains gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, live sessions get -drain to finish their pipelines, then
+// stragglers are force-closed.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	growt "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", server.DefaultAddr, "listen address")
+		strategy = flag.String("strategy", "uaGrow", "growing strategy: uaGrow, usGrow, paGrow, psGrow")
+		capacity = flag.Uint64("capacity", 0, "initial cell count (0 = library default)")
+		tsx      = flag.Bool("tsx", false, "route writes through emulated restricted transactions")
+		debug    = flag.String("debug", "", "optional HTTP address exposing expvar counters at /debug/vars")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown budget before force-closing sessions")
+		maxFrame = flag.Uint("maxframe", server.DefaultMaxFrame, "per-frame byte cap")
+	)
+	flag.Parse()
+	if *maxFrame == 0 || *maxFrame > math.MaxUint32 {
+		log.Fatalf("growd: -maxframe must be 1..%d", uint(math.MaxUint32))
+	}
+
+	opts, err := tableOptions(*strategy, *capacity, *tsx)
+	if err != nil {
+		log.Fatalf("growd: %v", err)
+	}
+	st := server.NewStore(opts...)
+	defer st.Close()
+	srv := server.New(st, server.Options{MaxFrame: uint32(*maxFrame)})
+
+	// Counters ride expvar so any scraper of /debug/vars sees them next
+	// to the runtime's memstats.
+	expvar.Publish("growd", expvar.Func(func() any { return srv.Stats() }))
+	expvar.Publish("growd.size", expvar.Func(func() any { return st.M.ApproxSize() }))
+	if *debug != "" {
+		go func() {
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				log.Printf("growd: debug server: %v", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("growd: %v", err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		s := <-sig
+		log.Printf("growd: %v: draining (budget %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("growd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("growd: serving %s table on %s", *strategy, ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("growd: %v", err)
+	}
+	// Serve returns nil only on the Shutdown path; wait for the drain to
+	// actually finish (the listener closing is its first step, not its
+	// last) so in-flight pipelines get their responses before exit.
+	<-shutdownDone
+	log.Printf("growd: bye (%d ops served)", srv.Stats().Ops)
+}
+
+// tableOptions maps the flags onto the library's functional options.
+func tableOptions(strategy string, capacity uint64, tsx bool) ([]growt.Option, error) {
+	var opts []growt.Option
+	switch strategy {
+	case "uaGrow":
+		opts = append(opts, growt.WithStrategy(growt.UAGrow))
+	case "usGrow":
+		opts = append(opts, growt.WithStrategy(growt.USGrow))
+	case "paGrow":
+		opts = append(opts, growt.WithStrategy(growt.PAGrow))
+	case "psGrow":
+		opts = append(opts, growt.WithStrategy(growt.PSGrow))
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (uaGrow, usGrow, paGrow, psGrow)", strategy)
+	}
+	if capacity > 0 {
+		opts = append(opts, growt.WithCapacity(capacity))
+	}
+	if tsx {
+		opts = append(opts, growt.WithTSX())
+	}
+	return opts, nil
+}

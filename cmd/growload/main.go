@@ -1,0 +1,316 @@
+// Command growload drives a growd server (cmd/growd) with a skewed
+// GET/SET mix through the pipelined client and reports end-to-end
+// serving throughput and latency percentiles. Two admission modes:
+//
+//   - closed loop (default): -conns × -depth workers each keep exactly
+//     one request outstanding, so admission is completion-paced — the
+//     classic throughput probe;
+//   - open loop (-rate N): requests are admitted on a fixed schedule of
+//     N ops/s regardless of completions, and each latency is measured
+//     from the *scheduled* admission time, so queueing delay under
+//     overload is charged to the server — the serving-tail probe.
+//
+// Key skew is the paper's Zipf generator (internal/zipfgen); the mix is
+// -writep percent SETs against GETs on an 8-byte key universe of
+// -keys, prefilled before timing starts.
+//
+//	growload -addr 127.0.0.1:7420 -conns 4 -depth 16 -duration 5s
+//	growload -rate 50000 -skew 1.05 -writep 20 -json BENCH_service.json
+//
+// With -json the run is recorded as a service-kind record in the
+// versioned BENCH report schema (internal/bench/report), so
+// `growbench -compare` gates serving performance exactly like the
+// fig-experiments.
+package main
+
+import (
+	"encoding/binary"
+	stderrors "errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench/lathist"
+	"repro/internal/bench/report"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/zipfgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1"+server.DefaultAddr, "growd address")
+		conns    = flag.Int("conns", 4, "pooled connections")
+		depth    = flag.Int("depth", 16, "closed-loop workers per connection (the pipeline depth)")
+		rate     = flag.Float64("rate", 0, "open-loop admission rate in ops/s (0 = closed loop)")
+		duration = flag.Duration("duration", 5*time.Second, "measured run length")
+		keys     = flag.Uint64("keys", 100000, "key universe size")
+		skew     = flag.Float64("skew", 0.99, "Zipf exponent over the key universe")
+		writep   = flag.Int("writep", 10, "percent of operations that are SETs")
+		valsize  = flag.Int("valsize", 32, "SET value size in bytes")
+		prefill  = flag.Bool("prefill", true, "SET every key once before timing starts")
+		dialwait = flag.Duration("dialwait", 10*time.Second, "keep retrying the initial connect until this deadline")
+		jsonOut  = flag.String("json", "", "write a service-kind BENCH report to this path")
+		exp      = flag.String("exp", "svc-mixed", "experiment id recorded in the report")
+		table    = flag.String("table", "growd", "table label recorded in the report")
+	)
+	flag.Parse()
+	if *writep < 0 || *writep > 100 {
+		fatal(fmt.Errorf("-writep must be 0..100"))
+	}
+	if *keys < 1 {
+		fatal(fmt.Errorf("-keys must be >= 1"))
+	}
+	if *conns < 1 || *depth < 1 {
+		// Zero workers would "measure" nothing, exit 0, and could poison
+		// a recorded baseline with an all-zero record.
+		fatal(fmt.Errorf("-conns and -depth must be >= 1"))
+	}
+
+	cl, err := client.Dial(*addr, client.WithConns(*conns), client.WithDialWait(*dialwait))
+	if err != nil {
+		fatal(fmt.Errorf("dial %s: %w", *addr, err))
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		fatal(fmt.Errorf("ping: %w", err))
+	}
+
+	val := make([]byte, *valsize)
+	r := rng.NewSplitMix64(0x9E3779B97F4A7C15)
+	for i := range val {
+		val[i] = byte(r.Uint64())
+	}
+
+	if *prefill {
+		if err := doPrefill(cl, *keys, val); err != nil {
+			fatal(fmt.Errorf("prefill: %w", err))
+		}
+	}
+
+	run := runner{
+		cl: cl, keys: *keys, skew: *skew,
+		writep: *writep, val: val,
+	}
+	var res runResult
+	if *rate > 0 {
+		res = run.openLoop(*rate, *duration)
+	} else {
+		res = run.closedLoop(*conns**depth, *duration)
+	}
+
+	mode := "closed"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open@%g/s", *rate)
+	}
+	// The recorded experiment id carries every workload-defining knob:
+	// the comparator matches records by (exp, table, threads, param), so
+	// two growload runs may only gate against each other when they ran
+	// the same workload — a different write mix or admission mode must
+	// be a different key, not a silent apples-to-oranges verdict.
+	recExp := fmt.Sprintf("%s[wp%d,v%d,k%d,d%d,%s]",
+		*exp, *writep, *valsize, *keys, *depth, mode)
+	mops := float64(res.completed) / res.seconds / 1e6
+	fmt.Printf("growload: %s loop, %d conns: %d ops in %.2fs = %.3f MOps/s (%d errors)\n",
+		mode, *conns, res.completed, res.seconds, mops, res.errors)
+	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  mean %v\n",
+		res.hist.Quantile(0.50), res.hist.Quantile(0.95), res.hist.Quantile(0.99), res.hist.Mean())
+
+	if *jsonOut != "" {
+		rec := report.Record{
+			Kind:      report.KindService,
+			Exp:       recExp,
+			Table:     *table,
+			Threads:   *conns * *depth,
+			Param:     *skew,
+			ParamName: "skew",
+			MOps:      mops,
+			Seconds:   res.seconds,
+			// One measured window; the comparator's median falls back to it.
+			SampleSecs: []float64{res.seconds},
+			Extra:      fmt.Sprintf("ops=%d conns=%d", res.completed, *conns),
+			P50us:      us(res.hist.Quantile(0.50)),
+			P95us:      us(res.hist.Quantile(0.95)),
+			P99us:      us(res.hist.Quantile(0.99)),
+			MeanUs:     us(res.hist.Mean()),
+		}
+		// N records the configured key universe — a true config knob, so
+		// same-workload runs compare without config-divergence warnings;
+		// the measured op count lives in the record's Extra.
+		rep := report.NewFromRecords(report.RunConfig{
+			N:       *keys,
+			Threads: []int{*conns * *depth},
+			Skews:   []float64{*skew},
+			WPs:     []int{*writep},
+			Repeat:  1,
+		}, []report.Record{rec}, "growload "+strings.Join(os.Args[1:], " "))
+		if err := rep.Save(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "growload: wrote service record to %s\n", *jsonOut)
+	}
+	if res.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// doPrefill SETs every key once through the pipeline (async, so the
+// prefill runs at pipelined throughput, not round-trip pace).
+func doPrefill(cl *client.Client, keys uint64, val []byte) error {
+	var wg sync.WaitGroup
+	var errs atomic.Uint64
+	sem := make(chan struct{}, 4096) // bound outstanding prefill requests
+	for k := uint64(1); k <= keys; k++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		cl.SetAsync(keyBytes(k), val, func(r client.Resp) {
+			if r.Err != nil || r.Status != server.StatusOK {
+				errs.Add(1)
+			}
+			<-sem
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if n := errs.Load(); n > 0 {
+		return fmt.Errorf("%d of %d prefill SETs failed", n, keys)
+	}
+	return nil
+}
+
+// keyBytes is the 8-byte big-endian wire key for a universe index.
+func keyBytes(k uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, k)
+}
+
+type runner struct {
+	cl     *client.Client
+	keys   uint64
+	skew   float64
+	writep int
+	val    []byte
+}
+
+type runResult struct {
+	completed uint64
+	errors    uint64
+	seconds   float64
+	hist      *lathist.H
+}
+
+// closedLoop runs workers synchronous request loops until the deadline.
+// Latency is measured around each round trip.
+func (r *runner) closedLoop(workers int, d time.Duration) runResult {
+	hist := &lathist.H{}
+	var completed, errors atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	time.AfterFunc(d, func() { stop.Store(true) })
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			z := zipfgen.New(r.keys, r.skew, rng.NewSplitMix64(uint64(w)*0x9E3779B9+1))
+			mix := rng.NewSplitMix64(uint64(w) + 0xD1B54A32D192ED03)
+			for !stop.Load() {
+				key := keyBytes(z.Next())
+				isWrite := int(mix.Uint64()%100) < r.writep
+				t0 := time.Now()
+				var err error
+				if isWrite {
+					err = r.cl.Set(key, r.val)
+				} else {
+					_, _, err = r.cl.Get(key)
+				}
+				hist.Record(time.Since(t0))
+				if err != nil {
+					errors.Add(1)
+					if stderrors.Is(err, client.ErrClosed) {
+						// The connection is gone for good: spinning would
+						// count millions of instant failures and drown the
+						// latency histogram in 1µs error samples.
+						return
+					}
+					continue
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return runResult{
+		completed: completed.Load(),
+		errors:    errors.Load(),
+		seconds:   time.Since(start).Seconds(),
+		hist:      hist,
+	}
+}
+
+// openLoop admits requests on the fixed schedule start + i/rate and
+// measures each latency from its scheduled admission time, so requests
+// that queue behind a slow server accrue their waiting time (the
+// coordinated-omission-free measurement).
+func (r *runner) openLoop(rate float64, d time.Duration) runResult {
+	hist := &lathist.H{}
+	var completed, errors atomic.Uint64
+	var issued uint64
+	var wg sync.WaitGroup
+	z := zipfgen.New(r.keys, r.skew, rng.NewSplitMix64(1))
+	mix := rng.NewSplitMix64(0xD1B54A32D192ED03)
+	interval := time.Duration(float64(time.Second) / rate)
+
+	start := time.Now()
+	deadline := start.Add(d)
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		// Admit everything the schedule owes us up to now.
+		for {
+			sched := start.Add(time.Duration(issued) * interval)
+			if sched.After(now) || !sched.Before(deadline) {
+				break
+			}
+			key := keyBytes(z.Next())
+			isWrite := int(mix.Uint64()%100) < r.writep
+			wg.Add(1)
+			cb := func(resp client.Resp) {
+				hist.Record(time.Since(sched))
+				if resp.Err != nil || (resp.Status != server.StatusOK && resp.Status != server.StatusNotFound) {
+					errors.Add(1)
+				} else {
+					completed.Add(1)
+				}
+				wg.Done()
+			}
+			if isWrite {
+				r.cl.SetAsync(key, r.val, cb)
+			} else {
+				r.cl.GetAsync(key, cb)
+			}
+			issued++
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	wg.Wait() // drain the tail; its latency is part of the story
+	return runResult{
+		completed: completed.Load(),
+		errors:    errors.Load(),
+		seconds:   time.Since(start).Seconds(),
+		hist:      hist,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "growload:", err)
+	os.Exit(1)
+}

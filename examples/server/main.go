@@ -1,0 +1,107 @@
+// Serving the table: start a growd-style server in-process, connect
+// the pipelined client, and run the protocol end to end — GET/SET,
+// optimistic concurrency with CAS, atomic counters with INCR, and a
+// deep async pipeline. The standalone binaries (cmd/growd and
+// cmd/growload) wrap exactly these pieces; the wire format is
+// docs/PROTOCOL.md.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func main() {
+	// The served table is a typed growing map (internal/server.Store
+	// routes byte-string keys through the generic growing backend, so
+	// there is no fixed capacity to outgrow).
+	st := server.NewStore()
+	defer st.Close()
+	srv := server.New(st, server.Options{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Println("serving on", addr)
+
+	// A pooled, pipelined client: safe for any number of goroutines;
+	// concurrent calls share connections instead of waiting in line.
+	cl, err := client.Dial(addr, client.WithConns(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// PING is the health check.
+	if err := cl.Ping(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Plain KV.
+	cl.Set([]byte("greeting"), []byte("hello, growd"))
+	v, ok, _ := cl.Get([]byte("greeting"))
+	fmt.Printf("GET greeting = %q (found=%v)\n", v, ok)
+
+	// Optimistic concurrency: CAS succeeds only from the current value.
+	swapped, _, _ := cl.CAS([]byte("greeting"), []byte("hello, growd"), []byte("hello, CAS"))
+	fmt.Println("CAS with right old value:", swapped)
+	swapped, _, _ = cl.CAS([]byte("greeting"), []byte("stale"), []byte("never"))
+	fmt.Println("CAS with stale old value:", swapped)
+
+	// Atomic counters: INCR never loses increments, even over the wire.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if _, err := cl.Incr([]byte("hits"), 1); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, _ := cl.Incr([]byte("hits"), 0)
+	fmt.Println("hits after 4x250 concurrent INCRs:", hits) // 1000
+
+	// Pipelining: a burst of async SETs goes out in coalesced batches —
+	// one flush carries many frames — and callbacks fire as responses
+	// stream back in order.
+	start := time.Now()
+	const burst = 5000
+	wg.Add(burst)
+	for i := 0; i < burst; i++ {
+		key := fmt.Appendf(nil, "item-%04d", i)
+		cl.SetAsync(key, []byte("x"), func(r client.Resp) {
+			if r.Err != nil {
+				log.Fatal(r.Err)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	fmt.Printf("pipelined %d SETs in %v\n", burst, time.Since(start).Round(time.Millisecond))
+
+	n, _ := cl.Size()
+	fmt.Println("approximate size:", n)
+
+	// Graceful shutdown: drain live sessions, then stop.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	cl.Close()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained cleanly")
+}

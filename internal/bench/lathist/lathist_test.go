@@ -1,0 +1,75 @@
+package lathist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h H
+	r := rand.New(rand.NewSource(1))
+	samples := make([]time.Duration, 100000)
+	for i := range samples {
+		// Log-uniform over ~1µs..1s, the latency range of interest.
+		d := time.Duration(float64(time.Microsecond) * math.Pow(10, r.Float64()*6))
+		samples[i] = d
+		h.Record(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("count %d want %d", h.Count(), len(samples))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		// The histogram answers the bucket upper bound: within one bucket
+		// (7%) of the exact order statistic, plus one-off-by-rank slack.
+		if got < time.Duration(float64(exact)*0.90) || got > time.Duration(float64(exact)*1.16) {
+			t.Fatalf("q%.2f = %v, exact %v (outside bucket tolerance)", q, got, exact)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	var h H
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must answer zero")
+	}
+	h.Record(-time.Second) // clamps to 0
+	h.Record(0)
+	h.Record(time.Nanosecond)
+	if got := h.Quantile(1); got != base {
+		t.Fatalf("sub-base samples land in bucket 0 (upper %v), got %v", base, got)
+	}
+	h.Record(24 * time.Hour) // clamps into the last bucket
+	if got := h.Quantile(1); got != upper(buckets-1) {
+		t.Fatalf("oversized sample must clamp to last bucket, got %v", got)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h H
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost samples: %d want %d", h.Count(), workers*per)
+	}
+	med := h.Quantile(0.5)
+	if med < 3*time.Millisecond || med > 6*time.Millisecond {
+		t.Fatalf("median %v outside [3ms, 6ms]", med)
+	}
+}

@@ -63,10 +63,20 @@ type RunConfig struct {
 	Repeat  int       `json:"repeat"`
 }
 
+// KindService marks records measured through the network service layer
+// (growd + growload) rather than in-process: MOps is end-to-end served
+// throughput and the latency percentiles are populated. Table-scenario
+// records leave Kind empty. The comparator needs no special case — the
+// throughput gate works identically on both kinds.
+const KindService = "service"
+
 // Record is one measured data point — a lossless serialization of
 // bench.Result. SampleSecs holds the unaveraged wall time of each
 // repeat; Seconds and MOps are the harness's mean-of-repeats values.
+// Service-kind records additionally carry client-observed latency
+// percentiles in microseconds.
 type Record struct {
+	Kind       string    `json:"kind,omitempty"` // "" = table scenario, KindService = served
 	Exp        string    `json:"exp"`
 	Table      string    `json:"table"`
 	Threads    int       `json:"threads"`
@@ -77,12 +87,20 @@ type Record struct {
 	SampleSecs []float64 `json:"sample_secs,omitempty"`
 	Bytes      uint64    `json:"bytes,omitempty"` // live backing memory (fig10)
 	Extra      string    `json:"extra,omitempty"`
+
+	// Latency percentiles and mean, microseconds (service records only).
+	P50us  float64 `json:"p50_us,omitempty"`
+	P95us  float64 `json:"p95_us,omitempty"`
+	P99us  float64 `json:"p99_us,omitempty"`
+	MeanUs float64 `json:"mean_us,omitempty"`
 }
 
 // Key identifies a data point across reports: two records with equal
-// keys measure the same scenario cell and may be compared.
+// keys measure the same scenario cell and may be compared. Kind is part
+// of the key so a service record can never gate against an in-process
+// record that happens to share its exp/table/threads/param.
 func (r Record) Key() string {
-	return fmt.Sprintf("%s|%s|t%d|p%g", r.Exp, r.Table, r.Threads, r.Param)
+	return fmt.Sprintf("%s|%s|%s|t%d|p%g", r.Kind, r.Exp, r.Table, r.Threads, r.Param)
 }
 
 // MedianMOps recomputes throughput from the median repeat instead of
@@ -145,20 +163,28 @@ func FromResults(results []bench.Result) []Record {
 // records how to regenerate the file (satellite requirement: the
 // committed baseline must carry its generation command).
 func New(cfg *bench.Config, results []bench.Result, command string) *Report {
+	return NewFromRecords(RunConfig{
+		N:       cfg.N,
+		Threads: cfg.Threads,
+		Tables:  cfg.Tables,
+		Skews:   cfg.Skews,
+		WPs:     cfg.WPs,
+		Repeat:  cfg.Repeat,
+	}, FromResults(results), command)
+}
+
+// NewFromRecords assembles a report from already-built records — the
+// entry point for producers that are not the §8 harness (growload's
+// service scenarios). Schema versioning, environment capture, and
+// timestamping stay in exactly one place.
+func NewFromRecords(cfg RunConfig, recs []Record, command string) *Report {
 	return &Report{
 		SchemaVersion: SchemaVersion,
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 		Command:       command,
 		Env:           CaptureEnv(),
-		Config: RunConfig{
-			N:       cfg.N,
-			Threads: cfg.Threads,
-			Tables:  cfg.Tables,
-			Skews:   cfg.Skews,
-			WPs:     cfg.WPs,
-			Repeat:  cfg.Repeat,
-		},
-		Results: FromResults(results),
+		Config:        cfg,
+		Results:       recs,
 	}
 }
 

@@ -274,3 +274,48 @@ func TestFormatMentionsVerdicts(t *testing.T) {
 		}
 	}
 }
+
+// TestServiceRecordRoundTrip: the service-kind record (growload) with
+// its latency percentiles must survive Save/Load and gate through the
+// comparator exactly like table-scenario records.
+func TestServiceRecordRoundTrip(t *testing.T) {
+	svc := Record{
+		Kind: KindService, Exp: "svc-mixed", Table: "growd", Threads: 64,
+		Param: 0.99, ParamName: "skew", MOps: 1.25, Seconds: 4.0,
+		SampleSecs: []float64{4.0},
+		Extra:      "mode=closed depth=16 wp=10 val=32B keys=100000",
+		P50us:      180, P95us: 410, P99us: 950, MeanUs: 210,
+	}
+	rep := NewFromRecords(RunConfig{N: 5_000_000, Threads: []int{64},
+		Skews: []float64{0.99}, WPs: []int{10}, Repeat: 1},
+		[]Record{svc}, "growload -conns 4 -depth 16")
+	path := filepath.Join(t.TempDir(), "BENCH_svc.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, rep.Results) {
+		t.Fatalf("service record mangled:\n got %+v\nwant %+v", got.Results, rep.Results)
+	}
+	if got.Results[0].Kind != KindService || got.Results[0].P99us != 950 {
+		t.Fatalf("latency fields lost: %+v", got.Results[0])
+	}
+
+	// The throughput gate sees service records like any other: a 2x
+	// slowdown must regress, a matching run must pass.
+	slower := *rep
+	slowRec := svc
+	slowRec.MOps /= 2
+	slowRec.SampleSecs = []float64{8.0}
+	slowRec.Seconds = 8.0
+	slower.Results = []Record{slowRec}
+	if c := Compare(rep, &slower, 0.25); c.OK() || c.Regressions != 1 {
+		t.Fatalf("service regression not gated: %+v", c)
+	}
+	if c := Compare(rep, rep, 0.25); !c.OK() || c.Matched != 1 {
+		t.Fatalf("identical service reports must pass: %+v", c)
+	}
+}

@@ -514,38 +514,41 @@ func (t *Table) findCore(k uint64) (uint64, bool) {
 }
 
 // deleteCore tombstones k (§5.4): the key word stays, the live bit is
-// cleared, probe chains scan over the dead cell.
-func (t *Table) deleteCore(k uint64) opStatus {
+// cleared, probe chains scan over the dead cell. On statusUpdated the
+// first return is the value the winning CAS removed — the tombstoning
+// CAS is the linearization point, so the value is exact, which is what
+// backs the facade's LoadAndDelete.
+func (t *Table) deleteCore(k uint64) (uint64, opStatus) {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
 	mask := t.capacity - 1
 	for probes := uint64(0); probes <= t.probeCap; probes++ {
 		kw := t.loadKey(i)
 		if kw == 0 {
-			return statusAbsent
+			return 0, statusAbsent
 		}
 		if kw&keyMask == k {
 			if kw&pendingBit != 0 {
 				// Linearize before the in-flight insert.
-				return statusAbsent
+				return 0, statusAbsent
 			}
 			for {
 				v := t.loadVal(i)
 				if v&markedBit != 0 {
-					return statusMarked
+					return 0, statusMarked
 				}
 				if v&liveBit == 0 {
-					return statusAbsent
+					return 0, statusAbsent
 				}
 				if t.casVal(i, v, v&^liveBit) {
-					return statusUpdated
+					return v & valueMask, statusUpdated
 				}
 				t.recheckKey(i, k)
 			}
 		}
 		i = (i + 1) & mask
 	}
-	return statusAbsent
+	return 0, statusAbsent
 }
 
 // rangeCore calls f on every live element; quiescent use only.

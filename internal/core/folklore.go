@@ -121,10 +121,17 @@ func (h *folkloreHandle) Find(k uint64) (uint64, bool) {
 }
 
 func (h *folkloreHandle) Delete(k uint64) bool {
+	_, ok := h.LoadAndDelete(k)
+	return ok
+}
+
+// LoadAndDelete implements tables.LoadDeleter: the removed value is the
+// one observed by the tombstoning CAS, so it is exact.
+func (h *folkloreHandle) LoadAndDelete(k uint64) (uint64, bool) {
 	checkKey(k)
-	if h.f.t.deleteCore(k) == statusUpdated {
+	if v, st := h.f.t.deleteCore(k); st == statusUpdated {
 		h.lc.bumpDel(&h.f.c)
-		return true
+		return v, true
 	}
-	return false
+	return 0, false
 }

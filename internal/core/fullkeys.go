@@ -199,3 +199,33 @@ func (h *fullKeysHandle) Delete(k uint64) bool {
 	}
 	return h.sub(hi).Delete(core)
 }
+
+// LoadAndDelete implements tables.LoadDeleter. Every core handle a
+// FullKeys wraps in this repository is a LoadDeleter; for a foreign
+// subtable without the capability it falls back to find-then-delete,
+// which can misreport the value against a concurrent overwrite.
+func (h *fullKeysHandle) LoadAndDelete(k uint64) (uint64, bool) {
+	hi, core, special := split(k)
+	if special {
+		h.f.mu.Lock()
+		defer h.f.mu.Unlock()
+		v, ok := h.f.special[k]
+		if ok {
+			delete(h.f.special, k)
+		}
+		return v, ok
+	}
+	sub := h.sub(hi)
+	if ld, ok := sub.(tables.LoadDeleter); ok {
+		return ld.LoadAndDelete(core)
+	}
+	for {
+		v, ok := sub.Find(core)
+		if !ok {
+			return 0, false
+		}
+		if sub.Delete(core) {
+			return v, true
+		}
+	}
+}

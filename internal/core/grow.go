@@ -395,7 +395,7 @@ func (h *growHandle) doUpsert(t *Table, k, d uint64, up tables.UpdateFn) opStatu
 	return t.insertOrUpdateCore(k, d, up)
 }
 
-func (h *growHandle) doDelete(t *Table, k uint64) opStatus {
+func (h *growHandle) doDelete(t *Table, k uint64) (uint64, opStatus) {
 	if h.g.tx != nil {
 		return t.deleteTSX(h.g.tx, k)
 	}
@@ -529,19 +529,28 @@ func (h *growHandle) Find(k uint64) (uint64, bool) {
 }
 
 func (h *growHandle) Delete(k uint64) bool {
+	_, ok := h.LoadAndDelete(k)
+	return ok
+}
+
+// LoadAndDelete implements tables.LoadDeleter. A delete that loses to a
+// migration mark retries in the successor generation like Delete; the
+// value returned is the one removed by the CAS that finally wins.
+func (h *growHandle) LoadAndDelete(k uint64) (uint64, bool) {
 	checkKey(k)
 	for {
 		t, ok := h.enter()
 		if !ok {
 			continue
 		}
-		switch h.doDelete(t, k) {
+		v, st := h.doDelete(t, k)
+		switch st {
 		case statusUpdated:
 			h.exit(h.bumpDel(t))
-			return true
+			return v, true
 		case statusAbsent:
 			h.exit(false)
-			return false
+			return 0, false
 		case statusMarked:
 			h.exit(false)
 			h.g.assist()

@@ -151,36 +151,38 @@ func (t *Table) insertOrUpdateTSX(r *htm.TxRegion, k, d uint64, up func(cur, d u
 	return statusFull
 }
 
-// deleteTSX is the transactional tombstoning delete.
-func (t *Table) deleteTSX(r *htm.TxRegion, k uint64) opStatus {
+// deleteTSX is the transactional tombstoning delete. Like deleteCore it
+// returns the removed value on statusUpdated (the transaction is the
+// linearization point, so the value is exact).
+func (t *Table) deleteTSX(r *htm.TxRegion, k uint64) (uint64, opStatus) {
 	i := hashIndex(t, k)
 	mask := t.capacity - 1
 	for probes := uint64(0); probes <= t.probeCap; probes++ {
 		kw := t.loadKey(i)
 		if kw == 0 {
-			return statusAbsent
+			return 0, statusAbsent
 		}
 		if kw&keyMask == k {
 			if kw&pendingBit != 0 {
-				return statusAbsent
+				return 0, statusAbsent
 			}
 			r.Begin(i)
 			v := t.loadVal(i)
 			switch {
 			case v&markedBit != 0:
 				r.End(i)
-				return statusMarked
+				return 0, statusMarked
 			case v&liveBit == 0:
 				r.End(i)
-				return statusAbsent
+				return 0, statusAbsent
 			}
 			t.storeVal(i, v&^liveBit)
 			r.End(i)
-			return statusUpdated
+			return v & valueMask, statusUpdated
 		}
 		i = (i + 1) & mask
 	}
-	return statusAbsent
+	return 0, statusAbsent
 }
 
 // TSXFolklore is the bounded folklore table with transactional writers
@@ -276,12 +278,19 @@ func (h *tsxFolkloreHandle) Find(k uint64) (uint64, bool) {
 }
 
 func (h *tsxFolkloreHandle) Delete(k uint64) bool {
+	_, ok := h.LoadAndDelete(k)
+	return ok
+}
+
+// LoadAndDelete implements tables.LoadDeleter: the removed value is read
+// inside the transaction that tombstones it, so it is exact.
+func (h *tsxFolkloreHandle) LoadAndDelete(k uint64) (uint64, bool) {
 	checkKey(k)
-	if h.f.t.deleteTSX(h.f.tx, k) == statusUpdated {
+	if v, st := h.f.t.deleteTSX(h.f.tx, k); st == statusUpdated {
 		h.lc.bumpDel(&h.f.c)
-		return true
+		return v, true
 	}
-	return false
+	return 0, false
 }
 
 // hashIndex is a small helper shared by the TSX paths.

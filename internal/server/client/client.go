@@ -1,0 +1,433 @@
+// Package client is the pipelined Go client for the growd protocol
+// (internal/server, docs/PROTOCOL.md). A Client owns a pool of
+// connections; every connection keeps a pending-request table keyed by
+// request id, a writer goroutine that coalesces queued request frames
+// into batched flushes, and a reader goroutine that dispatches
+// responses to their callbacks. Any number of goroutines may share one
+// Client: concurrent calls pipeline naturally onto the pooled
+// connections instead of waiting for each other's round trips.
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ErrClosed is reported by calls on a closed client or after a
+// connection failure (wrapped with the underlying cause when known).
+var ErrClosed = errors.New("client: connection closed")
+
+// Resp is a decoded response. Val aliases the connection's read buffer
+// inside callbacks — async callbacks must copy it to retain it; the
+// synchronous wrappers already return copies.
+type Resp struct {
+	Status byte
+	Val    []byte // GET value; StatusErr message
+	N      uint64 // INCR / SIZE result
+	Err    error  // transport failure; Status is unset when non-nil
+}
+
+type config struct {
+	conns    int
+	maxFrame uint32
+	dialWait time.Duration
+	outQueue int
+}
+
+// Option configures Dial.
+type Option func(*config)
+
+// WithConns sets the connection pool size (default 1). Calls are
+// spread round-robin; independent pipelines multiply throughput until
+// the server side saturates.
+func WithConns(n int) Option { return func(c *config) { c.conns = n } }
+
+// WithMaxFrame caps acceptable response frames (default
+// server.DefaultMaxFrame).
+func WithMaxFrame(n uint32) Option { return func(c *config) { c.maxFrame = n } }
+
+// WithDialWait keeps retrying the initial dials until the deadline
+// (default: one attempt). Lets a load generator start before the server
+// finishes binding.
+func WithDialWait(d time.Duration) Option { return func(c *config) { c.dialWait = d } }
+
+// Client is a pooled, pipelined protocol client. Safe for concurrent use.
+type Client struct {
+	conns []*conn
+	next  atomic.Uint64
+}
+
+// Dial connects the pool.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cfg := config{conns: 1, maxFrame: server.DefaultMaxFrame, outQueue: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.conns < 1 {
+		cfg.conns = 1
+	}
+	cl := &Client{}
+	deadline := time.Now().Add(cfg.dialWait)
+	for i := 0; i < cfg.conns; i++ {
+		nc, err := dialUntil(addr, deadline)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.conns = append(cl.conns, newConn(nc, &cfg))
+	}
+	return cl, nil
+}
+
+// dialUntil retries the dial until deadline (at least one attempt).
+func dialUntil(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		nc, err := net.Dial("tcp", addr)
+		if err == nil {
+			return nc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Close tears down every connection; in-flight requests fail with
+// ErrClosed.
+func (cl *Client) Close() error {
+	for _, c := range cl.conns {
+		c.close(ErrClosed)
+	}
+	return nil
+}
+
+// conn returns the next pool member round-robin.
+func (cl *Client) conn() *conn {
+	return cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+}
+
+// ---------------------------------------------------------------------
+// Synchronous API. Each call pipelines onto a pooled connection and
+// blocks only for its own response.
+
+// Ping round-trips a liveness probe.
+func (cl *Client) Ping() error {
+	r := cl.conn().roundTrip(server.OpPing, nil, 0, false)
+	if r.Err != nil {
+		return r.Err
+	}
+	return expectOK("PING", r)
+}
+
+// Get fetches the value at key; ok is false when absent.
+func (cl *Client) Get(key []byte) (val []byte, ok bool, err error) {
+	r := cl.conn().roundTrip(server.OpGet, [][]byte{key}, 0, false)
+	switch {
+	case r.Err != nil:
+		return nil, false, r.Err
+	case r.Status == server.StatusNotFound:
+		return nil, false, nil
+	case r.Status == server.StatusOK:
+		return r.Val, true, nil // roundTrip already copied it
+	}
+	return nil, false, statusErr("GET", r)
+}
+
+// Set unconditionally stores ⟨key, val⟩.
+func (cl *Client) Set(key, val []byte) error {
+	r := cl.conn().roundTrip(server.OpSet, [][]byte{key, val}, 0, false)
+	if r.Err != nil {
+		return r.Err
+	}
+	return expectOK("SET", r)
+}
+
+// Del removes key; ok reports whether it was present.
+func (cl *Client) Del(key []byte) (ok bool, err error) {
+	r := cl.conn().roundTrip(server.OpDel, [][]byte{key}, 0, false)
+	switch {
+	case r.Err != nil:
+		return false, r.Err
+	case r.Status == server.StatusOK:
+		return true, nil
+	case r.Status == server.StatusNotFound:
+		return false, nil
+	}
+	return false, statusErr("DEL", r)
+}
+
+// CAS atomically replaces key's value with new iff it currently equals
+// old. swapped reports success; found distinguishes a mismatch
+// (found=true) from an absent key (found=false).
+func (cl *Client) CAS(key, old, new []byte) (swapped, found bool, err error) {
+	r := cl.conn().roundTrip(server.OpCAS, [][]byte{key, old, new}, 0, false)
+	switch {
+	case r.Err != nil:
+		return false, false, r.Err
+	case r.Status == server.StatusOK:
+		return true, true, nil
+	case r.Status == server.StatusMismatch:
+		return false, true, nil
+	case r.Status == server.StatusNotFound:
+		return false, false, nil
+	}
+	return false, false, statusErr("CAS", r)
+}
+
+// Incr adds delta to the 8-byte big-endian counter at key (absent keys
+// start at 0) and returns the new value.
+func (cl *Client) Incr(key []byte, delta uint64) (uint64, error) {
+	r := cl.conn().roundTrip(server.OpIncr, [][]byte{key}, delta, true)
+	switch {
+	case r.Err != nil:
+		return 0, r.Err
+	case r.Status == server.StatusOK:
+		return r.N, nil
+	}
+	return 0, statusErr("INCR", r)
+}
+
+// Size returns the server's approximate element count.
+func (cl *Client) Size() (uint64, error) {
+	r := cl.conn().roundTrip(server.OpSize, nil, 0, false)
+	switch {
+	case r.Err != nil:
+		return 0, r.Err
+	case r.Status == server.StatusOK:
+		return r.N, nil
+	}
+	return 0, statusErr("SIZE", r)
+}
+
+// ---------------------------------------------------------------------
+// Asynchronous API: the open-loop load generator schedules request
+// admission independently of completions, so it needs fire-and-callback
+// sends. cb runs on the connection's reader goroutine and must not
+// block; Resp.Val aliases the read buffer and must be copied to retain.
+
+// GetAsync pipelines a GET.
+func (cl *Client) GetAsync(key []byte, cb func(Resp)) {
+	cl.conn().send(server.OpGet, [][]byte{key}, 0, false, cb)
+}
+
+// SetAsync pipelines a SET.
+func (cl *Client) SetAsync(key, val []byte, cb func(Resp)) {
+	cl.conn().send(server.OpSet, [][]byte{key, val}, 0, false, cb)
+}
+
+// IncrAsync pipelines an INCR.
+func (cl *Client) IncrAsync(key []byte, delta uint64, cb func(Resp)) {
+	cl.conn().send(server.OpIncr, [][]byte{key}, delta, true, cb)
+}
+
+func expectOK(op string, r Resp) error {
+	if r.Status == server.StatusOK {
+		return nil
+	}
+	return statusErr(op, r)
+}
+
+func statusErr(op string, r Resp) error {
+	if r.Status == server.StatusErr {
+		return fmt.Errorf("client: %s: server error: %s", op, r.Val)
+	}
+	return fmt.Errorf("client: %s: unexpected status %#x", op, r.Status)
+}
+
+// ---------------------------------------------------------------------
+// Connection machinery.
+
+type conn struct {
+	c        net.Conn
+	out      chan []byte   // encoded request frames for the writer
+	done     chan struct{} // closed when the connection is torn down
+	maxFrame uint32
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]func(Resp)
+	sticky  error // first failure; set before done closes
+
+	closeOnce sync.Once
+}
+
+func newConn(nc net.Conn, cfg *config) *conn {
+	c := &conn{
+		c:        nc,
+		out:      make(chan []byte, cfg.outQueue),
+		done:     make(chan struct{}),
+		maxFrame: cfg.maxFrame,
+		pending:  make(map[uint64]func(Resp)),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+// close fails all pending requests with cause and tears the conn down.
+func (c *conn) close(cause error) {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.sticky = cause
+		pend := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		close(c.done)
+		c.c.Close()
+		for _, cb := range pend {
+			cb(Resp{Err: cause})
+		}
+	})
+}
+
+// send encodes and pipelines one request; cb always fires exactly once.
+// Every entry of fields is emitted — a nil slice encodes as a
+// zero-length byte string, never as a missing field, so callers passing
+// nil keys or values produce well-formed frames.
+func (c *conn) send(kind byte, fields [][]byte, n uint64, hasN bool, cb func(Resp)) {
+	c.mu.Lock()
+	if c.pending == nil {
+		err := c.sticky
+		c.mu.Unlock()
+		cb(Resp{Err: fmt.Errorf("%w: %w", ErrClosed, err)})
+		return
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cb
+	c.mu.Unlock()
+
+	frame := server.BeginFrame(nil, id, kind)
+	for _, f := range fields {
+		frame = server.AppendBytes(frame, f)
+	}
+	if hasN {
+		frame = server.AppendUint64(frame, n)
+	}
+	frame = server.EndFrame(frame, 0)
+
+	select {
+	case c.out <- frame:
+	case <-c.done:
+		c.fail(id) // the reader's teardown may already have fired it
+	}
+}
+
+// fail fires the pending callback for id with the sticky error, if the
+// teardown has not already consumed it.
+func (c *conn) fail(id uint64) {
+	c.mu.Lock()
+	var cb func(Resp)
+	if c.pending != nil {
+		cb = c.pending[id]
+		delete(c.pending, id)
+	}
+	err := c.sticky
+	c.mu.Unlock()
+	if cb != nil {
+		if err == nil {
+			err = ErrClosed
+		}
+		cb(Resp{Err: err})
+	}
+}
+
+// roundTrip is send + wait. Val is copied inside the callback — the
+// reader's buffer is only stable for the callback's duration.
+func (c *conn) roundTrip(kind byte, fields [][]byte, n uint64, hasN bool) Resp {
+	ch := make(chan Resp, 1)
+	c.send(kind, fields, n, hasN, func(r Resp) {
+		if len(r.Val) > 0 {
+			r.Val = append([]byte(nil), r.Val...)
+		}
+		ch <- r
+	})
+	return <-ch
+}
+
+// writeLoop batches queued frames into one buffered write + flush per
+// burst — the client half of the pipeline's syscall amortization.
+func (c *conn) writeLoop() {
+	buf := make([]byte, 0, 64<<10)
+	for {
+		var frame []byte
+		select {
+		case frame = <-c.out:
+		case <-c.done:
+			return
+		}
+		buf = append(buf[:0], frame...)
+		for coalescing := true; coalescing; {
+			select {
+			case next := <-c.out:
+				buf = append(buf, next...)
+				if len(buf) >= 256<<10 {
+					coalescing = false
+				}
+			case <-c.done:
+				return
+			default:
+				coalescing = false
+			}
+		}
+		if _, err := c.c.Write(buf); err != nil {
+			c.close(fmt.Errorf("%w: write: %w", ErrClosed, err))
+			return
+		}
+	}
+}
+
+// readLoop decodes responses and dispatches callbacks by request id.
+func (c *conn) readLoop() {
+	var buf []byte
+	for {
+		id, status, respBody, nbuf, err := server.ReadFrame(c.c, c.maxFrame, buf)
+		buf = nbuf
+		if err != nil {
+			c.close(fmt.Errorf("%w: read: %w", ErrClosed, err))
+			return
+		}
+		c.mu.Lock()
+		var cb func(Resp)
+		if c.pending != nil {
+			cb = c.pending[id]
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if cb == nil {
+			// id 0 is the server's terminal protocol-error response (it
+			// could not attribute the failure to a request).
+			if id == 0 && status == server.StatusErr {
+				c.close(fmt.Errorf("%w: server: %s", ErrClosed, respBody))
+			} else {
+				c.close(fmt.Errorf("%w: response for unknown request id %d", ErrClosed, id))
+			}
+			return
+		}
+		cb(decode(status, respBody))
+	}
+}
+
+// decode splits a response body per status: OK bodies carry the value
+// bytes or a u64 result, error bodies carry the message.
+func decode(status byte, respBody []byte) Resp {
+	r := Resp{Status: status}
+	switch status {
+	case server.StatusOK:
+		if len(respBody) == 8 {
+			r.N = binary.BigEndian.Uint64(respBody)
+		}
+		r.Val = respBody
+	case server.StatusErr:
+		r.Val = respBody
+	}
+	return r
+}

@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	growt "repro"
+)
+
+// Options tunes a Server. The zero value is ready to use.
+type Options struct {
+	// MaxFrame caps a single request frame; DefaultMaxFrame when 0.
+	MaxFrame uint32
+	// ReadBuffer / WriteBuffer size the per-connection bufio layers;
+	// 64 KiB when 0. The write buffer is the coalescing window: one
+	// flush can carry hundreds of pipelined responses.
+	ReadBuffer, WriteBuffer int
+	// OutQueue is the per-session response queue depth (default 256).
+	// The reader parks when the queue is full, which backpressures a
+	// client that pipelines faster than its link drains.
+	OutQueue int
+}
+
+func (o *Options) defaults() {
+	if o.MaxFrame == 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.ReadBuffer == 0 {
+		o.ReadBuffer = 64 << 10
+	}
+	if o.WriteBuffer == 0 {
+		o.WriteBuffer = 64 << 10
+	}
+	if o.OutQueue == 0 {
+		o.OutQueue = 256
+	}
+}
+
+// Stats is a snapshot of the server's counters, shaped for expvar.
+type Stats struct {
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnsActive   int64  `json:"conns_active"`
+	Ops           uint64 `json:"ops"`
+	Gets          uint64 `json:"gets"`
+	Sets          uint64 `json:"sets"`
+	Dels          uint64 `json:"dels"`
+	CASes         uint64 `json:"cases"`
+	Incrs         uint64 `json:"incrs"`
+	ProtocolErrs  uint64 `json:"protocol_errs"`
+}
+
+type counters struct {
+	connsAccepted atomic.Uint64
+	connsActive   atomic.Int64
+	ops           atomic.Uint64
+	gets          atomic.Uint64
+	sets          atomic.Uint64
+	dels          atomic.Uint64
+	cases         atomic.Uint64
+	incrs         atomic.Uint64
+	protocolErrs  atomic.Uint64
+}
+
+// Server serves the binary protocol over a Store. Each accepted
+// connection gets a session: the reader goroutine parses and executes
+// the pipeline in order against a private map handle, the writer
+// goroutine drains the response queue into a buffered writer and
+// flushes only when the queue runs empty — so a deep pipeline pays one
+// syscall per batch, not per response.
+type Server struct {
+	st  *Store
+	opt Options
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// hpool recycles map handles across sessions. Core handles register
+	// per-handle state with the table that is never deregistered, so a
+	// handle per connection would leak under connection churn; the pool
+	// caps creation at its capacity and sessions beyond that *block* for
+	// a recycled handle (exactly Map.acquire's discipline — falling back
+	// to fresh handles would reintroduce the leak above the cap).
+	hpool   chan *growt.Handle[Key, string]
+	hcreate atomic.Int64
+
+	c counters
+}
+
+// New builds a server over st.
+func New(st *Store, opt Options) *Server {
+	opt.defaults()
+	return &Server{
+		st:    st,
+		opt:   opt,
+		conns: make(map[net.Conn]struct{}),
+		hpool: make(chan *growt.Handle[Key, string], 1024),
+	}
+}
+
+// acquireHandle takes a pooled handle, creating one only while fewer
+// than cap(hpool) exist; at the cap it blocks until a session ends.
+func (s *Server) acquireHandle() *growt.Handle[Key, string] {
+	select {
+	case h := <-s.hpool:
+		return h
+	default:
+	}
+	if s.hcreate.Add(1) <= int64(cap(s.hpool)) {
+		return s.st.M.Handle()
+	}
+	s.hcreate.Add(-1)
+	return <-s.hpool
+}
+
+// releaseHandle returns a handle to the pool. The send cannot block:
+// handles in circulation never exceed the channel capacity.
+func (s *Server) releaseHandle(h *growt.Handle[Key, string]) {
+	s.hpool <- h
+}
+
+// Stats snapshots the counters (expvar-friendly: growd publishes it via
+// expvar.Func).
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnsAccepted: s.c.connsAccepted.Load(),
+		ConnsActive:   s.c.connsActive.Load(),
+		Ops:           s.c.ops.Load(),
+		Gets:          s.c.gets.Load(),
+		Sets:          s.c.sets.Load(),
+		Dels:          s.c.dels.Load(),
+		CASes:         s.c.cases.Load(),
+		Incrs:         s.c.incrs.Load(),
+		ProtocolErrs:  s.c.protocolErrs.Load(),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (returns nil) or a
+// non-temporary accept error (returned).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	alreadyClosed := s.closed.Load()
+	s.mu.Unlock()
+	if alreadyClosed {
+		// Shutdown ran before the listener was registered (it sets closed
+		// before inspecting s.ln under the same lock, so exactly one side
+		// sees the other): close it here or nobody will.
+		ln.Close()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		// Registration and the closed flag are reconciled under one lock:
+		// either this section sees closed and drops the conn, or Shutdown's
+		// flag-setting section runs later and its sweep/Wait see the
+		// registered session. Checking closed outside the lock could
+		// register a session after Shutdown already reported fully drained.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.c.connsAccepted.Add(1)
+		s.c.connsActive.Add(1)
+		go s.session(conn)
+	}
+}
+
+// Shutdown stops accepting, then waits for live sessions to drain. When
+// ctx expires first, remaining connections are force-closed and
+// ctx.Err() is returned after they unwind. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// The flag is set under s.mu (see Serve's registration section): after
+	// this section, no further session can register, and every registered
+	// one is visible to the Wait and the force-close sweep below.
+	s.mu.Lock()
+	s.closed.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// session runs one connection's lifecycle. Teardown paths:
+//
+//   - client closes / read error → reader closes the queue, writer
+//     flushes what's pending and closes the conn;
+//   - write error → writer closes the conn and its done channel; the
+//     blocked reader's Read fails and the reader unwinds;
+//   - protocol error → reader enqueues a final StatusErr response and
+//     closes the queue (terminal: framing cannot resync).
+//
+// Either way both goroutines exit and the connection is untracked — the
+// disconnect-mid-pipeline test drives every path.
+func (s *Server) session(conn net.Conn) {
+	defer s.wg.Done()
+	out := make(chan []byte, s.opt.OutQueue)
+	done := make(chan struct{})
+
+	go s.writeLoop(conn, out, done)
+	s.readLoop(conn, out, done)
+
+	<-done // writer owns conn.Close; wait so untracking is ordered after it
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.c.connsActive.Add(-1)
+}
+
+// writeLoop drains out into a buffered writer, flushing only when the
+// queue is momentarily empty — the write-coalescing half of the
+// pipelining story. Closes conn and done on exit.
+func (s *Server) writeLoop(conn net.Conn, out <-chan []byte, done chan<- struct{}) {
+	defer close(done)
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, s.opt.WriteBuffer)
+	for frame := range out {
+		if _, err := bw.Write(frame); err != nil {
+			return
+		}
+		for coalescing := true; coalescing; {
+			select {
+			case next, ok := <-out:
+				if !ok {
+					bw.Flush()
+					return
+				}
+				if _, err := bw.Write(next); err != nil {
+					return
+				}
+			default:
+				coalescing = false
+			}
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+	bw.Flush()
+}
+
+// readLoop parses and executes the request pipeline in order. It owns
+// the out channel and always closes it on exit.
+func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}) {
+	defer close(out)
+	br := bufio.NewReaderSize(conn, s.opt.ReadBuffer)
+	h := s.acquireHandle()
+	defer s.releaseHandle(h)
+	var frameBuf []byte // ReadFrame scratch, reused across frames
+	for {
+		id, kind, reqBody, nbuf, err := ReadFrame(br, s.opt.MaxFrame, frameBuf)
+		frameBuf = nbuf
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrMalformed) {
+				s.c.protocolErrs.Add(1)
+				// Best-effort terminal error; id is unknowable here (the
+				// frame could not be parsed past its length), so echo 0.
+				s.trySend(out, done, errFrame(nil, 0, err.Error()))
+			}
+			return // EOF, connection reset, or terminal protocol error
+		}
+		// Each response frame is freshly allocated: ownership moves to the
+		// writer goroutine at the send.
+		resp, fatal := s.exec(h, nil, id, kind, reqBody)
+		if !s.trySend(out, done, resp) {
+			return
+		}
+		if fatal {
+			s.c.protocolErrs.Add(1)
+			return
+		}
+	}
+}
+
+// trySend enqueues a response unless the writer already died.
+func (s *Server) trySend(out chan<- []byte, done <-chan struct{}, frame []byte) bool {
+	select {
+	case out <- frame:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// errFrame builds a StatusErr response carrying msg. Response bodies
+// are raw (no length prefix): the frame length already delimits them.
+func errFrame(dst []byte, id uint64, msg string) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, id, StatusErr)
+	dst = append(dst, msg...)
+	return EndFrame(dst, start)
+}
+
+// exec executes one decoded request and returns the encoded response
+// frame. fatal marks protocol-level failures (unknown opcode, body that
+// does not parse) after which the connection must close; operation
+// failures (absent key, CAS mismatch, non-counter INCR target) are
+// ordinary statuses and keep the session alive.
+func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind byte, reqBody []byte) (frame []byte, fatal bool) {
+	s.c.ops.Add(1)
+	p := body{b: reqBody}
+	start := len(dst)
+	switch kind {
+	case OpPing:
+		if !p.done() {
+			break
+		}
+		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+
+	case OpGet:
+		key := p.bytesField()
+		if !p.done() {
+			break
+		}
+		s.c.gets.Add(1)
+		v, ok := h.Find(Key(key))
+		if !ok {
+			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
+		}
+		dst = BeginFrame(dst, id, StatusOK)
+		dst = append(dst, v...)
+		return EndFrame(dst, start), false
+
+	case OpSet:
+		key := p.bytesField()
+		val := p.bytesField()
+		if !p.done() {
+			break
+		}
+		s.c.sets.Add(1)
+		h.InsertOrUpdate(Key(key), string(val), growt.Replace[string])
+		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+
+	case OpDel:
+		key := p.bytesField()
+		if !p.done() {
+			break
+		}
+		s.c.dels.Add(1)
+		if !h.Delete(Key(key)) {
+			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
+		}
+		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+
+	case OpCAS:
+		key := p.bytesField()
+		old := p.bytesField()
+		new := p.bytesField()
+		if !p.done() {
+			break
+		}
+		s.c.cases.Add(1)
+		if h.CompareAndSwap(Key(key), string(old), string(new)) {
+			return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+		}
+		// Refine the failure: mismatch vs absent. The re-find races
+		// concurrent writers, but only the status detail does — the swap
+		// verdict above is the atomic one.
+		if _, ok := h.Find(Key(key)); ok {
+			return EndFrame(BeginFrame(dst, id, StatusMismatch), start), false
+		}
+		return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
+
+	case OpIncr:
+		key := p.bytesField()
+		delta := p.uint64Field()
+		if !p.done() {
+			break
+		}
+		s.c.incrs.Add(1)
+		v, ok := incr(h, Key(key), delta)
+		if !ok {
+			return errFrame(dst, id, "INCR target is not an 8-byte counter"), false
+		}
+		dst = BeginFrame(dst, id, StatusOK)
+		dst = AppendUint64(dst, v)
+		return EndFrame(dst, start), false
+
+	case OpSize:
+		if !p.done() {
+			break
+		}
+		dst = BeginFrame(dst, id, StatusOK)
+		dst = AppendUint64(dst, s.st.M.ApproxSize())
+		return EndFrame(dst, start), false
+	}
+	return errFrame(dst[:start], id, "malformed request"), true
+}

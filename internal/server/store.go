@@ -1,0 +1,68 @@
+package server
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+
+	growt "repro"
+)
+
+// Key is the server's map key type. It is a *named* string type on
+// purpose: the typed facade routes exactly `string` to the bounded §5.7
+// complex-key table, while named string types take the generic route —
+// a growing word core mapping the key's hash to a lock-free collision
+// chain — so a long-running server never hits a fixed table bound.
+type Key string
+
+var storeSeed = maphash.MakeSeed()
+
+// Store is the table a Server serves: a typed map from opaque byte-string
+// keys to opaque byte-string values. Values are Go strings so CAS can
+// compare them with == through the facade's CompareAndSwap.
+type Store struct {
+	M *growt.Map[Key, string]
+}
+
+// NewStore builds the served map. opts are the facade's functional
+// options (strategy, capacity, TSX — exactly what growt.New accepts), so
+// growd exposes the same table configuration surface as the library. A
+// fast maphash-based hasher is installed first, which a caller-supplied
+// WithHasher still overrides (later options win).
+func NewStore(opts ...growt.Option) *Store {
+	opts = append([]growt.Option{growt.WithHasher(func(k Key) uint64 {
+		return maphash.String(storeSeed, string(k))
+	})}, opts...)
+	return &Store{M: growt.New[Key, string](opts...)}
+}
+
+// Close releases the map's background resources.
+func (st *Store) Close() { st.M.Close() }
+
+// session-side operation helpers. Each session owns one map handle
+// (§5.1's per-goroutine discipline: sessions execute their connection's
+// pipeline sequentially on the reader goroutine).
+
+// incr atomically adds delta to the 8-byte big-endian counter at key,
+// initializing an absent key to delta. ok is false when the key holds a
+// value that is not exactly 8 bytes; the value is then left untouched.
+func incr(h *growt.Handle[Key, string], k Key, delta uint64) (newVal uint64, ok bool) {
+	var enc [8]byte
+	binary.BigEndian.PutUint64(enc[:], delta)
+	// The closure may run several times under contention; the backend
+	// applies exactly its final invocation, so the last recorded verdict
+	// and sum are the authoritative ones.
+	inserted := h.InsertOrUpdate(k, string(enc[:]), func(cur, _ string) string {
+		if len(cur) != 8 {
+			ok = false
+			return cur
+		}
+		ok = true
+		newVal = binary.BigEndian.Uint64([]byte(cur)) + delta
+		binary.BigEndian.PutUint64(enc[:], newVal)
+		return string(enc[:])
+	})
+	if inserted {
+		return delta, true
+	}
+	return newVal, ok
+}

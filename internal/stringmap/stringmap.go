@@ -305,6 +305,14 @@ func (h *Handle) Update(s string, d uint64, up func(cur, d uint64) uint64) bool 
 // Delete tombstones s; the arena bytes stay until Reset (the paper defers
 // key-space reclamation to migration phases).
 func (h *Handle) Delete(s string) bool {
+	_, ok := h.LoadAndDelete(s)
+	return ok
+}
+
+// LoadAndDelete tombstones s and returns the value the winning CAS
+// removed (exact: the CAS is the linearization point). ok is false when
+// s was absent.
+func (h *Handle) LoadAndDelete(s string) (uint64, bool) {
 	hash := hashfn.HashString(s)
 	sig := sigOf(hash)
 	mask := h.m.capacity - 1
@@ -312,23 +320,23 @@ func (h *Handle) Delete(s string) bool {
 	for probes := uint64(0); probes <= h.m.capacity; probes++ {
 		kw := h.m.loadKey(i)
 		if kw == 0 {
-			return false
+			return 0, false
 		}
 		if kw&sigMask == sig && kw&pendingBit == 0 && h.m.ar.get(kw&refMask) == s {
 			for {
 				cur := h.m.loadVal(i)
 				if cur&liveBit == 0 {
-					return false
+					return 0, false
 				}
 				if h.m.casVal(i, cur, cur&^liveBit) {
 					h.m.size.Add(-1)
-					return true
+					return cur & valueMask, true
 				}
 			}
 		}
 		i = (i + 1) & mask
 	}
-	return false
+	return 0, false
 }
 
 // Range calls f on every live element; quiescent use only.

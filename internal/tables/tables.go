@@ -61,6 +61,17 @@ type Adder interface {
 	InsertOrAdd(k, d uint64) bool
 }
 
+// LoadDeleter is implemented by handles whose delete can report the
+// removed value atomically (the tombstoning CAS/transaction observes the
+// value word it clears). The typed facade's LoadAndDelete requires it —
+// a find-then-delete emulation could return a value the delete never
+// removed.
+type LoadDeleter interface {
+	// LoadAndDelete removes k and returns the value it held. ok is false
+	// (with value 0) when k was absent.
+	LoadAndDelete(k uint64) (uint64, bool)
+}
+
 // Sizer is implemented by tables supporting the approximate size
 // operation of §5.2.
 type Sizer interface {

@@ -60,13 +60,19 @@ type backend[K comparable, V any] interface {
 	rangeAll(fn func(K, V) bool)
 }
 
-// backendHandle mirrors the five primitives of §4 on typed operands.
+// backendHandle mirrors the five primitives of §4 on typed operands,
+// plus the atomic load-and-delete and compare-and-swap each backend
+// provides natively (a generic emulation via update would re-encode the
+// unchanged value on every mismatch, leaking an arena slot per attempt
+// for arena-backed values).
 type backendHandle[K comparable, V any] interface {
 	insert(k K, v V) bool
 	update(k K, d V, up func(cur, d V) V) bool
 	insertOrUpdate(k K, d V, up func(cur, d V) V) bool
 	find(k K) (V, bool)
 	del(k K) bool
+	loadAndDelete(k K) (V, bool)
+	compareAndSwap(k K, old, new V) bool
 }
 
 // New builds a typed concurrent hash table. The default is the paper's
@@ -145,6 +151,58 @@ func (h *Handle[K, V]) Find(k K) (V, bool) { return h.h.find(k) }
 // Delete removes k; returns true iff k was present.
 func (h *Handle[K, V]) Delete(k K) bool { return h.h.del(k) }
 
+// LoadAndDelete removes k and returns the value it held (sync.Map
+// parity). loaded is false when k was absent. The load and the delete
+// are one atomic step: the value returned is exactly the one the delete
+// removed, even against concurrent overwrites.
+func (h *Handle[K, V]) LoadAndDelete(k K) (value V, loaded bool) {
+	return h.h.loadAndDelete(k)
+}
+
+// CompareAndSwap replaces the value of k with new iff it is currently
+// old (sync.Map parity). Returns false when k is absent or holds a
+// different value. Like sync.Map, values are compared with ==, so old
+// must be of a comparable dynamic type or CompareAndSwap panics.
+func (h *Handle[K, V]) CompareAndSwap(k K, old, new V) bool {
+	// Fire the documented uncomparable-value panic here, before any
+	// backend lock or TSX stripe transaction is held: a stored value can
+	// only panic the closure's == if it shares old's dynamic type, so
+	// validating old is sufficient.
+	_ = any(old) == any(old)
+	return h.h.compareAndSwap(k, old, new)
+}
+
+// casViaUpdate implements compareAndSwap over an Update-style word
+// backend (the word and string routes). The closure may run several
+// times under contention; the backend applies exactly its final
+// invocation, so the last verdict is the authoritative one. On mismatch
+// the *word* is returned unchanged — never re-encoded — so a refused
+// CAS allocates nothing. The new value is encoded at most once per
+// call; that one slot leaks only if a transiently-matching attempt is
+// finally refused (bounded by one slot per call, like any overwrite).
+// Both final conditions are required: the closure's last invocation
+// matching is not enough, because the backend reports applied=false
+// when its value-CAS lost to a concurrent delete after that
+// invocation, and then nothing was written.
+func casViaUpdate[V any](vc *valCodec[V], old, new V, update func(func(cur, d uint64) uint64) bool) bool {
+	swapped := false
+	var newW uint64
+	encoded := false
+	applied := update(func(cur, _ uint64) uint64 {
+		if any(vc.dec(cur)) != any(old) {
+			swapped = false
+			return cur
+		}
+		swapped = true
+		if !encoded {
+			newW = vc.enc(new)
+			encoded = true
+		}
+		return newW
+	})
+	return applied && swapped
+}
+
 // acquire borrows a free-listed handle for one handle-free operation.
 // At most cap(m.handles) handles are ever created for the free list —
 // beyond that, acquire blocks until one is released. The hard cap
@@ -215,6 +273,25 @@ func (m *Map[K, V]) Delete(k K) bool {
 	ok := h.Delete(k)
 	m.release(h)
 	return ok
+}
+
+// LoadAndDelete removes k and returns the value it held (handle-free;
+// sync.Map parity). loaded is false when k was absent.
+func (m *Map[K, V]) LoadAndDelete(k K) (value V, loaded bool) {
+	h := m.acquire()
+	defer m.release(h)
+	return h.LoadAndDelete(k)
+}
+
+// CompareAndSwap replaces the value of k with new iff it is currently
+// old (handle-free; sync.Map parity). Old values are compared with ==
+// and must be of a comparable dynamic type, or CompareAndSwap panics.
+// The release is deferred so that panic cannot strand the pooled
+// handle.
+func (m *Map[K, V]) CompareAndSwap(k K, old, new V) bool {
+	h := m.acquire()
+	defer m.release(h)
+	return h.CompareAndSwap(k, old, new)
 }
 
 // Number collects the types usable with Add.
@@ -337,6 +414,24 @@ func (h *wordHandle[K, V]) find(k K) (V, bool) {
 
 func (h *wordHandle[K, V]) del(k K) bool { return h.h.Delete(h.b.kenc(k)) }
 
+func (h *wordHandle[K, V]) compareAndSwap(k K, old, new V) bool {
+	return casViaUpdate(h.b.vc, old, new, func(up func(cur, d uint64) uint64) bool {
+		return h.h.Update(h.b.kenc(k), 0, up)
+	})
+}
+
+func (h *wordHandle[K, V]) loadAndDelete(k K) (V, bool) {
+	// The full-key wrapper behind every word route implements
+	// tables.LoadDeleter (its tombstoning CAS observes the value word it
+	// clears), so the decoded value is exactly the one removed.
+	w, ok := h.h.(tables.LoadDeleter).LoadAndDelete(h.b.kenc(k))
+	if !ok {
+		var zv V
+		return zv, false
+	}
+	return h.b.vc.dec(w), true
+}
+
 // ---------------------------------------------------------------------
 // String keys: codec over the complex-key table (§5.7).
 
@@ -411,6 +506,21 @@ func (h *stringHandle[K, V]) find(k K) (V, bool) {
 }
 
 func (h *stringHandle[K, V]) del(k K) bool { return h.h.Delete(asString(k)) }
+
+func (h *stringHandle[K, V]) compareAndSwap(k K, old, new V) bool {
+	return casViaUpdate(h.b.vc, old, new, func(up func(cur, d uint64) uint64) bool {
+		return h.h.Update(asString(k), 0, up)
+	})
+}
+
+func (h *stringHandle[K, V]) loadAndDelete(k K) (V, bool) {
+	w, ok := h.h.LoadAndDelete(asString(k))
+	if !ok {
+		var zv V
+		return zv, false
+	}
+	return h.b.vc.dec(w), true
+}
 
 // ---------------------------------------------------------------------
 // Generic comparable keys: hash-to-64-bit codec. The word core maps the
@@ -659,18 +769,44 @@ func (h *genericHandle[K, V]) find(k K) (V, bool) {
 }
 
 func (h *genericHandle[K, V]) del(k K) bool {
+	_, ok := h.loadAndDelete(k)
+	return ok
+}
+
+// compareAndSwap CASes the entry's value pointer directly: a refused
+// call performs no write and allocates nothing.
+func (h *genericHandle[K, V]) compareAndSwap(k K, old, new V) bool {
 	e := h.findEntry(k)
 	if e == nil {
 		return false
 	}
 	for {
 		p := e.val.Load()
-		if p == nil {
+		if p == nil || any(*p) != any(old) {
 			return false
+		}
+		nv := new
+		if e.val.CompareAndSwap(p, &nv) {
+			return true
+		}
+	}
+}
+
+func (h *genericHandle[K, V]) loadAndDelete(k K) (V, bool) {
+	e := h.findEntry(k)
+	if e == nil {
+		var zv V
+		return zv, false
+	}
+	for {
+		p := e.val.Load()
+		if p == nil {
+			var zv V
+			return zv, false
 		}
 		if e.val.CompareAndSwap(p, nil) {
 			h.b.size.Add(-1)
-			return true
+			return *p, true
 		}
 	}
 }

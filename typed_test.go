@@ -3,6 +3,7 @@ package growt_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -118,6 +119,36 @@ func conformance[K comparable, V comparable](t *testing.T, m *growt.Map[K, V],
 		t.Fatalf("revived key(0) = %v,%v", v, ok)
 	}
 
+	// CompareAndSwap: wrong old refuses and leaves the value, right old
+	// swaps, absent key refuses.
+	if h.CompareAndSwap(key(1), val(999), val(5)) {
+		t.Fatal("cas with wrong old value succeeded")
+	}
+	if v, _ := h.Find(key(1)); v != val(1) {
+		t.Fatalf("failed cas changed the value to %v", v)
+	}
+	if !h.CompareAndSwap(key(1), val(1), val(5)) {
+		t.Fatal("cas with right old value refused")
+	}
+	if v, _ := h.Find(key(1)); v != val(5) {
+		t.Fatalf("cas left %v want %v", v, val(5))
+	}
+	if h.CompareAndSwap(key(n+50), val(0), val(1)) {
+		t.Fatal("cas of absent key succeeded")
+	}
+
+	// LoadAndDelete: returns the removed value; absent keys miss; the
+	// key is gone afterwards.
+	if v, ok := h.LoadAndDelete(key(1)); !ok || v != val(5) {
+		t.Fatalf("loadAndDelete = %v,%v want %v,true", v, ok, val(5))
+	}
+	if _, ok := h.Find(key(1)); ok {
+		t.Fatal("loadAndDelete left the key")
+	}
+	if _, ok := h.LoadAndDelete(key(1)); ok {
+		t.Fatal("loadAndDelete of absent key succeeded")
+	}
+
 	// Handle-free sync.Map-shaped surface.
 	m.Store(key(n+1), val(1))
 	if v, ok := m.Load(key(n + 1)); !ok || v != val(1) {
@@ -144,6 +175,16 @@ func conformance[K comparable, V comparable](t *testing.T, m *growt.Map[K, V],
 	}
 	if !m.Delete(key(n + 3)) {
 		t.Fatal("handle-free delete")
+	}
+	m.Store(key(n+4), val(1))
+	if !m.CompareAndSwap(key(n+4), val(1), val(2)) {
+		t.Fatal("handle-free cas refused")
+	}
+	if v, ok := m.LoadAndDelete(key(n + 4)); !ok || v != val(2) {
+		t.Fatalf("handle-free loadAndDelete = %v,%v", v, ok)
+	}
+	if _, ok := m.LoadAndDelete(key(n + 4)); ok {
+		t.Fatal("handle-free loadAndDelete of absent key succeeded")
 	}
 }
 
@@ -404,6 +445,201 @@ func TestTypedConcurrentSmoke(t *testing.T) {
 	t.Run("uint64-tsx", func(t *testing.T) {
 		raceSmoke(t, growt.New[uint64, uint64](growt.WithTSX()), func(i int) uint64 { return uint64(i) })
 	})
+}
+
+// loadAndDeleteTokens proves LoadAndDelete is atomic, not find-then-
+// delete: one inserter feeds unique tokens through a single key (Insert
+// succeeds only while the key is absent), several deleters race
+// LoadAndDelete on it. Every token must be collected exactly once — a
+// non-atomic implementation can return token A while its delete
+// actually removes a later token B, which collects A twice and B never.
+func loadAndDeleteTokens[K comparable](t *testing.T, m *growt.Map[K, uint64], k K) {
+	t.Helper()
+	defer m.Close()
+	const (
+		tokens   = 2000
+		deleters = 3
+	)
+	coll := make(chan uint64, tokens)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // inserter
+		defer wg.Done()
+		h := m.Handle()
+		for tok := uint64(1); tok <= tokens; {
+			if h.Insert(k, tok) {
+				tok++
+			} else {
+				// The token is still unclaimed; hand the CPU to a deleter
+				// (on GOMAXPROCS=1 a tight spin starves them for whole
+				// scheduler slices).
+				runtime.Gosched()
+			}
+		}
+	}()
+	for d := 0; d < deleters; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Handle()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := h.LoadAndDelete(k); ok {
+					coll <- v
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	seen := make(map[uint64]bool, tokens)
+	for i := 0; i < tokens; i++ {
+		v := <-coll
+		if seen[v] {
+			t.Errorf("token %d collected twice — LoadAndDelete returned a value it did not remove", v)
+			break
+		}
+		seen[v] = true
+	}
+	close(done)
+	wg.Wait()
+	if len(seen) != tokens {
+		t.Fatalf("collected %d unique tokens, want %d", len(seen), tokens)
+	}
+}
+
+func TestTypedLoadAndDeleteAtomic(t *testing.T) {
+	t.Run("word", func(t *testing.T) {
+		loadAndDeleteTokens(t, growt.New[uint64, uint64](), uint64(12345))
+	})
+	t.Run("word-special-slot", func(t *testing.T) {
+		// Key 0 lives in the full-key wrapper's mutex-backed special slot.
+		loadAndDeleteTokens(t, growt.New[uint64, uint64](), uint64(0))
+	})
+	t.Run("word-bounded", func(t *testing.T) {
+		loadAndDeleteTokens(t, growt.New[uint64, uint64](growt.WithBounded(64)), uint64(7))
+	})
+	t.Run("word-tsx", func(t *testing.T) {
+		loadAndDeleteTokens(t, growt.New[uint64, uint64](growt.WithTSX()), uint64(7))
+	})
+	t.Run("string", func(t *testing.T) {
+		loadAndDeleteTokens(t, growt.New[string, uint64](), "the-key")
+	})
+	t.Run("generic", func(t *testing.T) {
+		loadAndDeleteTokens(t, growt.New[point, uint64](), point{X: 3, Y: 4})
+	})
+}
+
+// casCounter drives an optimistic-concurrency counter entirely through
+// CompareAndSwap: each success is one unique transition, so the final
+// value counts them exactly; lost or phantom swaps change the total.
+func casCounter[K comparable](t *testing.T, m *growt.Map[K, uint64], k K) {
+	t.Helper()
+	defer m.Close()
+	const (
+		workers   = 4
+		swapsEach = 500
+	)
+	m.Store(k, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Handle()
+			for done := 0; done < swapsEach; {
+				cur, ok := h.Find(k)
+				if !ok {
+					t.Error("counter key vanished")
+					return
+				}
+				if h.CompareAndSwap(k, cur, cur+1) {
+					done++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := m.Load(k); v != workers*swapsEach {
+		t.Fatalf("cas transitions lost: %d want %d", v, workers*swapsEach)
+	}
+}
+
+func TestTypedCompareAndSwapAtomic(t *testing.T) {
+	t.Run("word", func(t *testing.T) {
+		casCounter(t, growt.New[uint64, uint64](), uint64(99))
+	})
+	t.Run("word-tsx", func(t *testing.T) {
+		casCounter(t, growt.New[uint64, uint64](growt.WithTSX()), uint64(99))
+	})
+	t.Run("string", func(t *testing.T) {
+		casCounter(t, growt.New[string, uint64](), "ctr")
+	})
+	t.Run("generic", func(t *testing.T) {
+		casCounter(t, growt.New[point, uint64](), point{X: 1, Y: 2})
+	})
+}
+
+// TestTypedCompareAndSwapArenaValues drives CAS across the inline/arena
+// escape boundary: values ≥ 2^61 live behind the indirection arena, so
+// equality must be decided on decoded values, not on slot references.
+func TestTypedCompareAndSwapArenaValues(t *testing.T) {
+	m := growt.New[uint64, uint64]()
+	defer m.Close()
+	big := uint64(1)<<61 + 7 // escapes to the arena
+	m.Store(1, big)
+	if !m.CompareAndSwap(1, big, big+1) {
+		t.Fatal("cas on arena-escaped value refused despite equal decoded values")
+	}
+	if v, _ := m.Load(1); v != big+1 {
+		t.Fatalf("cas left %#x", v)
+	}
+	if m.CompareAndSwap(1, big, big+2) {
+		t.Fatal("cas with stale arena value succeeded")
+	}
+	// And string values (always arena-backed).
+	s := growt.New[uint64, string]()
+	defer s.Close()
+	s.Store(1, "alpha")
+	if !s.CompareAndSwap(1, "alpha", "beta") {
+		t.Fatal("cas on string value refused")
+	}
+	if v, ok := s.LoadAndDelete(1); !ok || v != "beta" {
+		t.Fatalf("loadAndDelete string = %q,%v", v, ok)
+	}
+}
+
+// TestTypedCompareAndSwapUncomparablePanics: sync.Map parity — CAS with
+// an uncomparable old value panics. The panic must fire before any
+// table lock or TSX stripe is entered and must not strand the pooled
+// handle, so the map stays fully usable after recovering.
+func TestTypedCompareAndSwapUncomparablePanics(t *testing.T) {
+	m := growt.New[uint64, []byte](growt.WithTSX())
+	defer m.Close()
+	m.Store(1, []byte("x"))
+	for i := 0; i < 3; i++ { // repeated panics must not leak pooled handles
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for uncomparable old value")
+				}
+			}()
+			m.CompareAndSwap(1, []byte("x"), []byte("y"))
+		}()
+	}
+	// No stripe lock or handle was stranded: normal ops still work.
+	m.Store(1, []byte("z"))
+	if v, ok := m.Load(1); !ok || string(v) != "z" {
+		t.Fatalf("map unusable after recovered panics: %q, %v", v, ok)
+	}
+	if v, ok := m.LoadAndDelete(1); !ok || string(v) != "z" {
+		t.Fatalf("loadAndDelete after recovered panics: %q, %v", v, ok)
+	}
 }
 
 // TestTypedConcurrentHandles is the explicit-handle analogue: one handle
