@@ -1,13 +1,16 @@
 // Command growd serves a typed concurrent map over TCP with the
 // pipelined binary protocol of internal/server (docs/PROTOCOL.md):
-// GET/SET/DEL/CAS/INCR/SIZE plus an in-protocol PING that doubles as
-// the health check. The table configuration mirrors the library's
+// GET/SET/DEL/CAS/INCR/SIZE, the cache opcodes SETEX/EXPIRE/TTL, the
+// batch opcodes MGET/MSET, plus an in-protocol PING that doubles as the
+// health check. The table configuration mirrors the library's
 // functional options, so the served map is the same engine the
-// benchmarks measure.
+// benchmarks measure; the cache flags turn the same binary into a
+// bounded TTL cache (internal/cache) without any global lock.
 //
 //	growd                                  # uaGrow table on :7420
 //	growd -addr :9000 -strategy usGrow
 //	growd -capacity 1048576 -tsx
+//	growd -default-ttl 30s -max-entries 1000000   # bounded cache mode
 //	growd -debug :8420                     # expvar counters at /debug/vars
 //
 // growd drains gracefully on SIGINT/SIGTERM: the listener closes
@@ -42,6 +45,10 @@ func main() {
 		debug    = flag.String("debug", "", "optional HTTP address exposing expvar counters at /debug/vars")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown budget before force-closing sessions")
 		maxFrame = flag.Uint("maxframe", server.DefaultMaxFrame, "per-frame byte cap")
+
+		defaultTTL = flag.Duration("default-ttl", 0, "TTL applied to SET/MSET entries (0 = immortal; SETEX always wins)")
+		maxEntries = flag.Uint64("max-entries", 0, "entry budget; beyond it writes evict sampled-LRU entries (0 = unbounded)")
+		sweepEvery = flag.Duration("sweep-interval", 0, "background expiry sweep tick (0 = default 1s, negative = lazy expiry only)")
 	)
 	flag.Parse()
 	if *maxFrame == 0 || *maxFrame > math.MaxUint32 {
@@ -52,14 +59,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("growd: %v", err)
 	}
+	opts = append(opts,
+		growt.WithTTL(*defaultTTL),
+		growt.WithMaxEntries(*maxEntries),
+		growt.WithSweepInterval(*sweepEvery),
+	)
 	st := server.NewStore(opts...)
 	defer st.Close()
 	srv := server.New(st, server.Options{MaxFrame: uint32(*maxFrame)})
 
-	// Counters ride expvar so any scraper of /debug/vars sees them next
-	// to the runtime's memstats.
+	// Counters — including the cache layer's hits/misses/expired/evicted
+	// — ride expvar so any scraper of /debug/vars sees them next to the
+	// runtime's memstats.
 	expvar.Publish("growd", expvar.Func(func() any { return srv.Stats() }))
-	expvar.Publish("growd.size", expvar.Func(func() any { return st.M.ApproxSize() }))
+	expvar.Publish("growd.size", expvar.Func(func() any { return st.C.Len() }))
 	if *debug != "" {
 		go func() {
 			if err := http.ListenAndServe(*debug, nil); err != nil {
@@ -87,7 +100,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("growd: serving %s table on %s", *strategy, ln.Addr())
+	cacheMode := ""
+	if *defaultTTL > 0 || *maxEntries > 0 {
+		cacheMode = fmt.Sprintf(" (cache: default-ttl %v, max-entries %d)", *defaultTTL, *maxEntries)
+	}
+	log.Printf("growd: serving %s table on %s%s", *strategy, ln.Addr(), cacheMode)
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("growd: %v", err)
 	}

@@ -14,8 +14,15 @@
 // -writep percent SETs against GETs on an 8-byte key universe of
 // -keys, prefilled before timing starts.
 //
+// With -ttl the run becomes an expiring workload: -ttlp percent of the
+// writes are SETEX with that TTL, entries die under the load, and the
+// summary (and the BENCH record) reports the observed GET hit-rate —
+// the cache-serving probe against a growd running -default-ttl /
+// -max-entries.
+//
 //	growload -addr 127.0.0.1:7420 -conns 4 -depth 16 -duration 5s
 //	growload -rate 50000 -skew 1.05 -writep 20 -json BENCH_service.json
+//	growload -ttl 500ms -writep 30 -json BENCH_cache.json
 //
 // With -json the run is recorded as a service-kind record in the
 // versioned BENCH report schema (internal/bench/report), so
@@ -53,6 +60,8 @@ func main() {
 		skew     = flag.Float64("skew", 0.99, "Zipf exponent over the key universe")
 		writep   = flag.Int("writep", 10, "percent of operations that are SETs")
 		valsize  = flag.Int("valsize", 32, "SET value size in bytes")
+		ttl      = flag.Duration("ttl", 0, "expiring-workload mode: TTL carried by SETEX writes (0 = plain SETs)")
+		ttlp     = flag.Int("ttlp", 100, "percent of writes issued as SETEX when -ttl is set")
 		prefill  = flag.Bool("prefill", true, "SET every key once before timing starts")
 		dialwait = flag.Duration("dialwait", 10*time.Second, "keep retrying the initial connect until this deadline")
 		jsonOut  = flag.String("json", "", "write a service-kind BENCH report to this path")
@@ -62,6 +71,9 @@ func main() {
 	flag.Parse()
 	if *writep < 0 || *writep > 100 {
 		fatal(fmt.Errorf("-writep must be 0..100"))
+	}
+	if *ttlp < 0 || *ttlp > 100 {
+		fatal(fmt.Errorf("-ttlp must be 0..100"))
 	}
 	if *keys < 1 {
 		fatal(fmt.Errorf("-keys must be >= 1"))
@@ -96,6 +108,7 @@ func main() {
 	run := runner{
 		cl: cl, keys: *keys, skew: *skew,
 		writep: *writep, val: val,
+		ttl: *ttl, ttlp: *ttlp,
 	}
 	var res runResult
 	if *rate > 0 {
@@ -111,13 +124,24 @@ func main() {
 	// The recorded experiment id carries every workload-defining knob:
 	// the comparator matches records by (exp, table, threads, param), so
 	// two growload runs may only gate against each other when they ran
-	// the same workload — a different write mix or admission mode must
-	// be a different key, not a silent apples-to-oranges verdict.
-	recExp := fmt.Sprintf("%s[wp%d,v%d,k%d,d%d,%s]",
-		*exp, *writep, *valsize, *keys, *depth, mode)
+	// the same workload — a different write mix, TTL regime, or
+	// admission mode must be a different key, not a silent
+	// apples-to-oranges verdict.
+	ttlTag := ""
+	if *ttl > 0 {
+		ttlTag = fmt.Sprintf(",ttl%v@%d%%", *ttl, *ttlp)
+	}
+	recExp := fmt.Sprintf("%s[wp%d,v%d,k%d,d%d,%s%s]",
+		*exp, *writep, *valsize, *keys, *depth, mode, ttlTag)
 	mops := float64(res.completed) / res.seconds / 1e6
 	fmt.Printf("growload: %s loop, %d conns: %d ops in %.2fs = %.3f MOps/s (%d errors)\n",
 		mode, *conns, res.completed, res.seconds, mops, res.errors)
+	extra := fmt.Sprintf("ops=%d conns=%d", res.completed, *conns)
+	if gets := res.hits + res.misses; gets > 0 {
+		rate := float64(res.hits) / float64(gets)
+		fmt.Printf("hit-rate: %.4f (%d hits, %d misses)\n", rate, res.hits, res.misses)
+		extra += fmt.Sprintf(" hit_rate=%.4f", rate)
+	}
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  mean %v\n",
 		res.hist.Quantile(0.50), res.hist.Quantile(0.95), res.hist.Quantile(0.99), res.hist.Mean())
 
@@ -133,7 +157,7 @@ func main() {
 			Seconds:   res.seconds,
 			// One measured window; the comparator's median falls back to it.
 			SampleSecs: []float64{res.seconds},
-			Extra:      fmt.Sprintf("ops=%d conns=%d", res.completed, *conns),
+			Extra:      extra,
 			P50us:      us(res.hist.Quantile(0.50)),
 			P95us:      us(res.hist.Quantile(0.95)),
 			P99us:      us(res.hist.Quantile(0.99)),
@@ -196,11 +220,15 @@ type runner struct {
 	skew   float64
 	writep int
 	val    []byte
+	ttl    time.Duration // > 0: expiring workload (SETEX writes)
+	ttlp   int           // percent of writes carrying the TTL
 }
 
 type runResult struct {
 	completed uint64
 	errors    uint64
+	hits      uint64 // GETs answered OK
+	misses    uint64 // GETs answered NOT_FOUND (expired or never set)
 	seconds   float64
 	hist      *lathist.H
 }
@@ -209,7 +237,7 @@ type runResult struct {
 // Latency is measured around each round trip.
 func (r *runner) closedLoop(workers int, d time.Duration) runResult {
 	hist := &lathist.H{}
-	var completed, errors atomic.Uint64
+	var completed, errors, hits, misses atomic.Uint64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -223,12 +251,17 @@ func (r *runner) closedLoop(workers int, d time.Duration) runResult {
 			for !stop.Load() {
 				key := keyBytes(z.Next())
 				isWrite := int(mix.Uint64()%100) < r.writep
+				withTTL := isWrite && r.ttl > 0 && int(mix.Uint64()%100) < r.ttlp
 				t0 := time.Now()
 				var err error
-				if isWrite {
+				var found bool
+				switch {
+				case withTTL:
+					err = r.cl.SetEx(key, r.val, r.ttl)
+				case isWrite:
 					err = r.cl.Set(key, r.val)
-				} else {
-					_, _, err = r.cl.Get(key)
+				default:
+					_, found, err = r.cl.Get(key)
 				}
 				hist.Record(time.Since(t0))
 				if err != nil {
@@ -241,6 +274,13 @@ func (r *runner) closedLoop(workers int, d time.Duration) runResult {
 					}
 					continue
 				}
+				if !isWrite {
+					if found {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+					}
+				}
 				completed.Add(1)
 			}
 		}(w)
@@ -249,6 +289,8 @@ func (r *runner) closedLoop(workers int, d time.Duration) runResult {
 	return runResult{
 		completed: completed.Load(),
 		errors:    errors.Load(),
+		hits:      hits.Load(),
+		misses:    misses.Load(),
 		seconds:   time.Since(start).Seconds(),
 		hist:      hist,
 	}
@@ -260,7 +302,7 @@ func (r *runner) closedLoop(workers int, d time.Duration) runResult {
 // coordinated-omission-free measurement).
 func (r *runner) openLoop(rate float64, d time.Duration) runResult {
 	hist := &lathist.H{}
-	var completed, errors atomic.Uint64
+	var completed, errors, hits, misses atomic.Uint64
 	var issued uint64
 	var wg sync.WaitGroup
 	z := zipfgen.New(r.keys, r.skew, rng.NewSplitMix64(1))
@@ -282,19 +324,31 @@ func (r *runner) openLoop(rate float64, d time.Duration) runResult {
 			}
 			key := keyBytes(z.Next())
 			isWrite := int(mix.Uint64()%100) < r.writep
+			withTTL := isWrite && r.ttl > 0 && int(mix.Uint64()%100) < r.ttlp
 			wg.Add(1)
 			cb := func(resp client.Resp) {
 				hist.Record(time.Since(sched))
-				if resp.Err != nil || (resp.Status != server.StatusOK && resp.Status != server.StatusNotFound) {
+				switch {
+				case resp.Err != nil || (resp.Status != server.StatusOK && resp.Status != server.StatusNotFound):
 					errors.Add(1)
-				} else {
+				default:
+					if !isWrite {
+						if resp.Status == server.StatusOK {
+							hits.Add(1)
+						} else {
+							misses.Add(1)
+						}
+					}
 					completed.Add(1)
 				}
 				wg.Done()
 			}
-			if isWrite {
+			switch {
+			case withTTL:
+				r.cl.SetExAsync(key, r.val, r.ttl, cb)
+			case isWrite:
 				r.cl.SetAsync(key, r.val, cb)
-			} else {
+			default:
 				r.cl.GetAsync(key, cb)
 			}
 			issued++
@@ -305,6 +359,8 @@ func (r *runner) openLoop(rate float64, d time.Duration) runResult {
 	return runResult{
 		completed: completed.Load(),
 		errors:    errors.Load(),
+		hits:      hits.Load(),
+		misses:    misses.Load(),
 		seconds:   time.Since(start).Seconds(),
 		hist:      hist,
 	}

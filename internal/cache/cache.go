@@ -1,0 +1,549 @@
+// Package cache is the TTL-expiration + bounded-memory eviction layer
+// over the typed map — the serving-side feature that turns growt from an
+// immortal key-value store into a cache. It adds no locks and no global
+// coordination of its own: every replacement decision is an element-wise
+// CompareAndSwap/CompareAndDelete race that the core tables already
+// prove safe under concurrent updates, deletions, and migrations.
+//
+// Entries wrap values with an expiry deadline and a last-access clock.
+// Expiry is enforced twice over:
+//
+//   - lazily on read: a Get that finds an expired entry atomically
+//     tombstones it via CompareAndDelete and reports a miss — an expired
+//     value is never returned, even against a racing overwrite (the
+//     conditional delete removes exactly the expired item or nothing);
+//   - proactively by an incremental background sweeper that walks Range
+//     from a roving cursor, examining at most its batch of entries per
+//     tick (see Costs and deferrals for the skip-walk price).
+//
+// Bounded memory is Redis-style sampled approximate-LRU: writes record
+// their key in a lock-free sample ring; when ApproxSize exceeds the
+// configured entry budget, the writer samples a handful of ring slots
+// and CompareAndDeletes the least-recently-accessed live candidate. A
+// candidate that was concurrently overwritten survives (the conditional
+// delete sees a different item), so eviction can never lose a fresh
+// write.
+//
+// The cache shares the root package's functional-option vocabulary:
+// WithTTL, WithMaxEntries, and WithSweepInterval configure this layer,
+// and every other option (WithStrategy, WithCapacity, WithTSX,
+// WithHasher, ...) passes through to the underlying growt.New.
+//
+// # Costs and deferrals
+//
+// MaxEntries bounds the live ENTRY count, not bytes. On the generic key
+// route (named types — the route growd's byte-string keys take) evicted
+// and expired values are ordinary heap objects reclaimed by the GC; on
+// the word and string key routes, wide values live in the codec's
+// append-only arenas, whose slots are reclaimed only when the map
+// itself is collected (the paper's §5.7 deferral) — a churn-heavy
+// bounded cache over those routes trades memory growth for lock
+// freedom. The sweeper collects at most its batch of entries per tick,
+// but reaching its roving cursor skips earlier Range positions with a
+// cheap callback each, so a full cycle over n entries costs O(n²/batch)
+// skip work; a resumable-cursor Range is a ROADMAP item. The eviction
+// sample ring covers min(MaxEntries rounded up, 2^22) recent writes —
+// budgets beyond that get window-LRU over the newest writes.
+package cache
+
+import (
+	"sync/atomic"
+	"time"
+
+	growt "repro"
+	"repro/internal/rng"
+)
+
+const (
+	// defaultSweepInterval paces the background sweeper when
+	// WithSweepInterval is not given.
+	defaultSweepInterval = time.Second
+	// defaultSweepBatch bounds the entries one sweep tick examines (the
+	// cursor skip-walk makes a full cycle O(n²/batch); a bigger batch
+	// buys fewer, slightly longer ticks).
+	defaultSweepBatch = 1024
+	// evictSamples is the Redis-style sample width: candidates examined
+	// per eviction decision.
+	evictSamples = 5
+	// maxEvictPerWrite bounds how many evictions one write performs when
+	// the cache is over budget, so no single SET stalls on a long purge.
+	maxEvictPerWrite = 8
+	// minRing/maxRing clamp the eviction sample ring (slots, power of 2).
+	// The ring must cover the entry budget or eviction degrades toward
+	// approximate-MRU: keys whose slots were overwritten become
+	// invisible to sampling, leaving only recent writes evictable. 2^22
+	// slots (32 MiB of pointers) covers budgets up to ~4M entries;
+	// larger budgets get ring-window LRU over the newest 4M writes.
+	minRing = 1 << 10
+	maxRing = 1 << 22
+)
+
+// item is one cache entry: the value, its expiry deadline, and the
+// access clock driving sampled LRU. val and expiry are immutable after
+// construction — every logical update replaces the whole item, so the
+// item pointer doubles as the entry's version for CompareAndSwap /
+// CompareAndDelete races.
+type item[V any] struct {
+	val    V
+	expiry int64        // unix nanos; 0 = immortal
+	access atomic.Int64 // unix nanos of the last touch (sampled-LRU clock)
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits    uint64 `json:"hits"`    // Get found a live entry
+	Misses  uint64 `json:"misses"`  // Get found nothing live (includes expired)
+	Expired uint64 `json:"expired"` // entries removed because their deadline passed
+	Evicted uint64 `json:"evicted"` // live entries removed to hold the budget
+	Sweeps  uint64 `json:"sweeps"`  // completed sweeper ticks
+}
+
+// Cache is a concurrent TTL + bounded-memory cache over a typed map.
+// Safe for unrestricted concurrent use; the zero value is not usable —
+// build with New.
+type Cache[K comparable, V any] struct {
+	m   *growt.Map[K, *item[V]]
+	set growt.CacheSettings
+
+	now func() int64 // clock, unix nanos; swappable for deterministic tests
+
+	// ring is the eviction sample pool: a lock-free buffer of recently
+	// written keys that evictOne samples uniformly. Slots hold *K so
+	// concurrent record/sample stay race-free; stale slots (keys since
+	// removed) are skipped at sampling time. nil when unbounded.
+	ring     []atomic.Pointer[K]
+	ringMask uint64
+	ringPos  atomic.Uint64
+	seed     atomic.Uint64 // sampling stream selector
+
+	sweepCursor atomic.Uint64 // elements already examined this Range cycle
+
+	stop      chan struct{}
+	sweepDone chan struct{}
+
+	hits, misses, expired, evicted, sweeps atomic.Uint64
+}
+
+// New builds a cache. Cache-layer options (WithTTL, WithMaxEntries,
+// WithSweepInterval) configure this facade; all options — including
+// those — are forwarded to growt.New, which ignores the cache subset.
+func New[K comparable, V any](opts ...growt.Option) *Cache[K, V] {
+	return newCache[K, V](func() int64 { return time.Now().UnixNano() }, opts...)
+}
+
+// newCache is New with an injectable clock (deterministic expiry tests).
+func newCache[K comparable, V any](now func() int64, opts ...growt.Option) *Cache[K, V] {
+	c := &Cache[K, V]{
+		m:   growt.New[K, *item[V]](opts...),
+		set: growt.ResolveCacheSettings(opts...),
+		now: now,
+	}
+	if c.set.MaxEntries > 0 {
+		size := uint64(minRing)
+		for size < c.set.MaxEntries && size < maxRing {
+			size <<= 1
+		}
+		c.ring = make([]atomic.Pointer[K], size)
+		c.ringMask = size - 1
+		c.seed.Store(0x9E3779B97F4A7C15)
+	}
+	if c.set.SweepInterval >= 0 {
+		every := c.set.SweepInterval
+		if every == 0 {
+			every = defaultSweepInterval
+		}
+		c.stop = make(chan struct{})
+		c.sweepDone = make(chan struct{})
+		go c.sweepLoop(every)
+	}
+	return c
+}
+
+// Close stops the background sweeper and releases the map's resources.
+func (c *Cache[K, V]) Close() {
+	if c.stop != nil {
+		close(c.stop)
+		<-c.sweepDone
+		c.stop = nil
+	}
+	c.m.Close()
+}
+
+// Stats snapshots the counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Expired: c.expired.Load(),
+		Evicted: c.evicted.Load(),
+		Sweeps:  c.sweeps.Load(),
+	}
+}
+
+// Len estimates the number of stored entries (live + not-yet-collected
+// expired), via the map's §5.2 size estimator.
+func (c *Cache[K, V]) Len() uint64 { return c.m.ApproxSize() }
+
+// deadline converts a ttl into an absolute expiry; ttl <= 0 = immortal.
+func deadline(now int64, ttl time.Duration) int64 {
+	if ttl <= 0 {
+		return 0
+	}
+	return now + int64(ttl)
+}
+
+// dead reports whether it has expired as of now.
+func dead[V any](it *item[V], now int64) bool {
+	return it.expiry != 0 && now >= it.expiry
+}
+
+// newItem builds a fresh entry with its access clock primed.
+func newItem[V any](v V, now int64, ttl time.Duration) *item[V] {
+	it := &item[V]{val: v, expiry: deadline(now, ttl)}
+	it.access.Store(now)
+	return it
+}
+
+// collect removes the expired item it from k if it is still the stored
+// entry — the lazy half of expiry. The conditional delete is what makes
+// the race against writers safe: if anything replaced it, the delete
+// refuses and the replacement survives untouched.
+func (c *Cache[K, V]) collect(k K, it *item[V]) {
+	if c.m.CompareAndDelete(k, it) {
+		c.expired.Add(1)
+	}
+}
+
+// Get returns the live value at k. An expired entry is never returned:
+// it reads as a miss and is collected in passing.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	now := c.now()
+	it, ok := c.m.Load(k)
+	if !ok {
+		c.misses.Add(1)
+		var zv V
+		return zv, false
+	}
+	if dead(it, now) {
+		c.collect(k, it)
+		c.misses.Add(1)
+		var zv V
+		return zv, false
+	}
+	it.access.Store(now)
+	c.hits.Add(1)
+	return it.val, true
+}
+
+// Set stores ⟨k,v⟩ with the cache's default TTL (WithTTL; immortal if
+// none was configured).
+func (c *Cache[K, V]) Set(k K, v V) { c.SetTTL(k, v, c.set.TTL) }
+
+// SetTTL stores ⟨k,v⟩ with an explicit time-to-live (ttl <= 0 =
+// immortal), replacing any previous entry and deadline.
+func (c *Cache[K, V]) SetTTL(k K, v V, ttl time.Duration) {
+	now := c.now()
+	c.m.Store(k, newItem(v, now, ttl))
+	c.noteWrite(k, now)
+}
+
+// SetExpiry stores ⟨k,v⟩ with an absolute expiry deadline (zero =
+// immortal) — for callers that compute deadlines externally, e.g. from
+// an upstream's Expires header. at is unix nanoseconds on the cache's
+// clock; a deadline already in the past stores an entry that is born
+// expired (never observable).
+func (c *Cache[K, V]) SetExpiry(k K, v V, at int64) {
+	now := c.now()
+	it := &item[V]{val: v, expiry: at}
+	it.access.Store(now)
+	c.m.Store(k, it)
+	c.noteWrite(k, now)
+}
+
+// Compute inserts ⟨k,d⟩ if k is absent or expired — stamping the
+// cache's default TTL — and otherwise atomically replaces the live
+// value with up(current, d), keeping the existing deadline (so e.g. a
+// counter increment does not extend its own life). Returns true iff the
+// call inserted (or revived an expired entry). The closure may run
+// several times under contention; the map applies exactly its final
+// invocation.
+func (c *Cache[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
+	now := c.now()
+	fresh := newItem(d, now, c.set.TTL)
+	revived := false
+	inserted := c.m.Compute(k, fresh, func(cur, _ *item[V]) *item[V] {
+		if dead(cur, now) {
+			revived = true
+			return fresh
+		}
+		revived = false
+		ni := &item[V]{val: up(cur.val, d), expiry: cur.expiry}
+		ni.access.Store(now)
+		return ni
+	})
+	c.noteWrite(k, now)
+	return inserted || revived
+}
+
+// CompareAndSwap replaces the live value of k with new iff it is
+// currently old (compared with ==, like the map's CompareAndSwap — old
+// must be of a comparable dynamic type or this panics). The entry keeps
+// its deadline. found distinguishes a value mismatch (found=true) from
+// an absent-or-expired key (found=false).
+func (c *Cache[K, V]) CompareAndSwap(k K, old, new V) (swapped, found bool) {
+	_ = any(old) == any(old) // documented uncomparable-value panic
+	now := c.now()
+	// Steady-refusal fast path: decide absent/expired/mismatch from a
+	// plain read before touching Update. On the word and string routes a
+	// closure that returns cur unchanged is still re-encoded by the
+	// backend — one arena slot per refusal — so a hot mismatch loop must
+	// not reach the closure at all. The authoritative verdict for a
+	// *successful* swap remains the Update CAS below.
+	it, ok := c.m.Load(k)
+	if !ok {
+		return false, false
+	}
+	if dead(it, now) {
+		c.collect(k, it)
+		return false, false
+	}
+	if any(it.val) != any(old) {
+		return false, true
+	}
+	var expiredIt *item[V]
+	matched := false
+	applied := c.m.Update(k, nil, func(cur, _ *item[V]) *item[V] {
+		if dead(cur, now) {
+			expiredIt, matched = cur, false
+			return cur
+		}
+		expiredIt = nil
+		if any(cur.val) != any(old) {
+			matched = false
+			return cur
+		}
+		matched = true
+		ni := &item[V]{val: new, expiry: cur.expiry}
+		ni.access.Store(now)
+		return ni
+	})
+	if expiredIt != nil {
+		c.collect(k, expiredIt)
+	}
+	// Both conditions required, like the facade's casViaUpdate: the map
+	// reports applied=false when its CAS lost to a concurrent delete
+	// after the closure's final invocation — nothing was written then.
+	swapped = applied && matched
+	found = applied && expiredIt == nil
+	if swapped {
+		c.noteWrite(k, now)
+	}
+	return swapped, found
+}
+
+// Expire re-deadlines the live entry at k to now+ttl (ttl <= 0 =
+// immortal). Returns false when k is absent or already expired — an
+// expired entry cannot be revived by Expire, only by a write.
+func (c *Cache[K, V]) Expire(k K, ttl time.Duration) bool {
+	now := c.now()
+	// Same steady-refusal fast path as CompareAndSwap: absent and
+	// expired keys must not reach the re-encoding Update closure.
+	it, ok := c.m.Load(k)
+	if !ok {
+		return false
+	}
+	if dead(it, now) {
+		c.collect(k, it)
+		return false
+	}
+	var expiredIt *item[V]
+	applied := c.m.Update(k, nil, func(cur, _ *item[V]) *item[V] {
+		if dead(cur, now) {
+			expiredIt = cur
+			return cur
+		}
+		expiredIt = nil
+		ni := &item[V]{val: cur.val, expiry: deadline(now, ttl)}
+		ni.access.Store(now)
+		return ni
+	})
+	if expiredIt != nil {
+		c.collect(k, expiredIt)
+	}
+	return applied && expiredIt == nil
+}
+
+// TTL returns the remaining time-to-live of the live entry at k.
+// ok is false when k is absent or expired; a live immortal entry
+// reports d < 0.
+func (c *Cache[K, V]) TTL(k K) (d time.Duration, ok bool) {
+	now := c.now()
+	it, found := c.m.Load(k)
+	if !found {
+		return 0, false
+	}
+	if dead(it, now) {
+		c.collect(k, it)
+		return 0, false
+	}
+	if it.expiry == 0 {
+		return -1, true
+	}
+	return time.Duration(it.expiry - now), true
+}
+
+// Delete removes k; true iff a live (non-expired) entry was removed.
+func (c *Cache[K, V]) Delete(k K) bool {
+	it, ok := c.m.LoadAndDelete(k)
+	if !ok {
+		return false
+	}
+	if dead(it, c.now()) {
+		c.expired.Add(1)
+		return false
+	}
+	return true
+}
+
+// Range calls fn for every live entry until fn returns false. Expired
+// entries are skipped (never surfaced), not collected. Like every Range
+// in this repository it is for quiescent use only.
+func (c *Cache[K, V]) Range(fn func(k K, v V) bool) {
+	now := c.now()
+	c.m.Range(func(k K, it *item[V]) bool {
+		if dead(it, now) {
+			return true
+		}
+		return fn(k, it.val)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Eviction: Redis-style sampled approximate LRU.
+
+// noteWrite records k in the sample ring and enforces the entry budget.
+// Called after every write that can grow the cache.
+func (c *Cache[K, V]) noteWrite(k K, now int64) {
+	if c.ring == nil {
+		return
+	}
+	kp := new(K)
+	*kp = k
+	c.ring[c.ringPos.Add(1)&c.ringMask].Store(kp)
+	c.enforceBudget(now)
+}
+
+// enforceBudget evicts sampled-LRU entries while the cache is over its
+// entry budget, bounded per call so a single write never stalls on a
+// long purge (the sweeper keeps enforcing in the background).
+func (c *Cache[K, V]) enforceBudget(now int64) {
+	max := c.set.MaxEntries
+	if max == 0 {
+		return
+	}
+	for tries := 0; tries < maxEvictPerWrite && c.m.ApproxSize() > max; tries++ {
+		c.evictOne(now)
+	}
+}
+
+// evictOne samples evictSamples ring slots and removes the
+// least-recently-accessed live candidate (expired candidates are
+// collected on sight, which also counts as progress). The conditional
+// delete makes the decision safe: a candidate overwritten since
+// sampling is a different item and survives. Returns true if an entry
+// was removed.
+func (c *Cache[K, V]) evictOne(now int64) bool {
+	// Seeds advance by 1, NOT by splitmix's own golden-ratio increment:
+	// a gamma-stride seed would make call n+1's probe sequence call n's
+	// shifted by one, so every eviction re-probes the same slots. Unit
+	// strides land on disjoint splitmix inputs and decorrelate fully.
+	r := rng.NewSplitMix64(c.seed.Add(1))
+	var bestK K
+	var bestIt *item[V]
+	sampled := 0
+	for probe := 0; probe < 4*evictSamples && sampled < evictSamples; probe++ {
+		kp := c.ring[r.Uint64()&c.ringMask].Load()
+		if kp == nil {
+			continue
+		}
+		it, ok := c.m.Load(*kp)
+		if !ok {
+			continue
+		}
+		if dead(it, now) {
+			if c.m.CompareAndDelete(*kp, it) {
+				c.expired.Add(1)
+				return true
+			}
+			continue
+		}
+		sampled++
+		if bestIt == nil || it.access.Load() < bestIt.access.Load() {
+			bestK, bestIt = *kp, it
+		}
+	}
+	if bestIt == nil {
+		return false
+	}
+	if c.m.CompareAndDelete(bestK, bestIt) {
+		c.evicted.Add(1)
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Proactive expiry: the incremental background sweeper.
+
+// sweepLoop ticks SweepOnce until Close.
+func (c *Cache[K, V]) sweepLoop(every time.Duration) {
+	defer close(c.sweepDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.SweepOnce(defaultSweepBatch)
+		}
+	}
+}
+
+// SweepOnce examines one bounded slice of the table from the sweeper's
+// roving cursor, collecting expired entries, then enforces the entry
+// budget. Exported so tests (and callers without a background sweeper)
+// can drive expiry deterministically. Returns the number of entries
+// removed. Concurrent writers may be partially observed — the walk is
+// best-effort; correctness is carried by the lazy read path.
+func (c *Cache[K, V]) SweepOnce(budget int) int {
+	now := c.now()
+	skip := c.sweepCursor.Load()
+	var visited, seen uint64
+	removed := 0
+	c.m.Range(func(k K, it *item[V]) bool {
+		if visited < skip {
+			visited++
+			return true
+		}
+		seen++
+		if dead(it, now) {
+			if c.m.CompareAndDelete(k, it) {
+				c.expired.Add(1)
+				removed++
+			}
+		}
+		return seen < uint64(budget)
+	})
+	if seen < uint64(budget) {
+		// Range exhausted: next tick restarts from the front.
+		c.sweepCursor.Store(0)
+	} else {
+		// Removed entries no longer occupy Range positions; advancing by
+		// the survivors keeps the cursor from drifting past unseen tail.
+		c.sweepCursor.Store(skip + seen - uint64(removed))
+	}
+	c.enforceBudget(now)
+	c.sweeps.Add(1)
+	return removed
+}

@@ -1,0 +1,422 @@
+package cache
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	growt "repro"
+)
+
+// fakeClock is the injectable deterministic clock: tests advance it and
+// expiry verdicts follow with no sleeping and no timing tolerance.
+type fakeClock struct{ t atomic.Int64 }
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{}
+	c.t.Store(1) // nonzero so deadlines never collide with "immortal"
+	return c
+}
+func (c *fakeClock) now() int64              { return c.t.Load() }
+func (c *fakeClock) advance(d time.Duration) { c.t.Add(int64(d)) }
+
+func newTestCache[K comparable, V any](clk *fakeClock, opts ...growt.Option) *Cache[K, V] {
+	// Sweeping is driven explicitly via SweepOnce: a background ticker
+	// reading a fake clock would only add noise.
+	opts = append(opts, growt.WithSweepInterval(-1))
+	return newCache[K, V](clk.now, opts...)
+}
+
+// storedLen counts stored entries exactly — including expired ones not
+// yet collected — via the map's Range. Len/ApproxSize on the word key
+// route is a buffered per-handle estimate (±flushSpan per handle, §5.2)
+// and cannot anchor small-n assertions.
+func (c *Cache[K, V]) storedLen() int {
+	n := 0
+	c.m.Range(func(K, *item[V]) bool { n++; return true })
+	return n
+}
+
+// evKey is a named integer type: named types fall off the built-in
+// word-codec fast path onto the generic route, whose size counter is
+// exact — the same route the server's named-string Key takes. Tests
+// that assert on sizes use it.
+type evKey uint64
+
+// TestExpiredNeverObservable is the lazy-path regression test: once the
+// clock passes an entry's deadline, no Get may ever return it again —
+// and reading it collects it.
+func TestExpiredNeverObservable(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk)
+	defer c.Close()
+
+	c.SetTTL(1, "short", 100*time.Millisecond)
+	c.SetTTL(2, "long", time.Hour)
+	c.SetTTL(3, "immortal", 0)
+
+	if v, ok := c.Get(1); !ok || v != "short" {
+		t.Fatalf("pre-deadline get = %q, %v", v, ok)
+	}
+	clk.advance(100 * time.Millisecond) // exactly the deadline: expired
+	if v, ok := c.Get(1); ok {
+		t.Fatalf("expired entry observable: %q", v)
+	}
+	if v, ok := c.Get(2); !ok || v != "long" {
+		t.Fatalf("unexpired entry lost: %q, %v", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v != "immortal" {
+		t.Fatalf("immortal entry lost: %q, %v", v, ok)
+	}
+	// The expired read collected the entry (lazy expiry removes, not
+	// just hides).
+	if n := c.storedLen(); n != 2 {
+		t.Fatalf("expired entry still stored: len %d", n)
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSweeperCollects drives the incremental sweeper deterministically:
+// bounded batches per tick, full coverage over successive ticks.
+func TestSweeperCollects(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk)
+	defer c.Close()
+
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		c.SetTTL(i, "v", time.Second)
+	}
+	c.SetTTL(1000, "survivor", time.Hour)
+	clk.advance(2 * time.Second)
+
+	// Budget 30 per tick: the sweep must need several ticks and never
+	// exceed its budget in one.
+	total := 0
+	for tick := 0; tick < 10 && total < n; tick++ {
+		removed := c.SweepOnce(30)
+		if removed > 30 {
+			t.Fatalf("tick %d removed %d > budget", tick, removed)
+		}
+		total += removed
+	}
+	if total != n {
+		t.Fatalf("sweeper collected %d of %d expired entries", total, n)
+	}
+	if v, ok := c.Get(1000); !ok || v != "survivor" {
+		t.Fatalf("sweeper ate a live entry: %q, %v", v, ok)
+	}
+	if n := c.storedLen(); n != 1 {
+		t.Fatalf("stored entries after sweep = %d, want 1", n)
+	}
+}
+
+// TestStaleCollectNeverResurrectsOrKills is the sweeper-vs-writer CAS
+// regression test, deterministically: a sweeper that sampled an entry,
+// stalled, and fires its conditional delete after a writer replaced the
+// key must hit nothing — the fresh value survives.
+func TestStaleCollectNeverResurrectsOrKills(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk)
+	defer c.Close()
+
+	c.SetTTL(1, "old", 10*time.Millisecond)
+	stale, ok := c.m.Load(1) // the item a stalled sweeper would hold
+	if !ok {
+		t.Fatal("setup: entry missing")
+	}
+	clk.advance(time.Hour) // "old" is long expired
+	c.SetTTL(1, "fresh", 0)
+
+	c.collect(1, stale) // the stalled sweeper finally fires
+	if v, okg := c.Get(1); !okg || v != "fresh" {
+		t.Fatalf("stale collect disturbed the fresh entry: %q, %v", v, okg)
+	}
+	if st := c.Stats(); st.Expired != 0 {
+		t.Fatalf("stale collect counted a removal: %+v", st)
+	}
+
+	// And the mirrored order: collect the genuinely-stored expired item,
+	// then a write revives the key independently.
+	c.SetTTL(2, "old", 10*time.Millisecond)
+	it2, _ := c.m.Load(2)
+	clk.advance(time.Hour)
+	c.collect(2, it2)
+	if _, okg := c.m.Load(2); okg {
+		t.Fatal("expired entry survived its collect")
+	}
+	c.SetTTL(2, "fresh2", 0)
+	if v, okg := c.Get(2); !okg || v != "fresh2" {
+		t.Fatalf("revived entry = %q, %v", v, okg)
+	}
+}
+
+// TestComputeSemantics: live entries update in place keeping their
+// deadline; absent and expired entries (re)insert with the default TTL.
+func TestComputeSemantics(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, uint64](clk, growt.WithTTL(time.Minute))
+	defer c.Close()
+	add := func(cur, d uint64) uint64 { return cur + d }
+
+	if !c.Compute(1, 5, add) {
+		t.Fatal("compute on absent key did not insert")
+	}
+	if c.Compute(1, 3, add) {
+		t.Fatal("compute on live key claimed an insert")
+	}
+	if v, _ := c.Get(1); v != 8 {
+		t.Fatalf("compute sum = %d, want 8", v)
+	}
+	// The update kept the original deadline: advancing past it expires
+	// the entry even though the second Compute happened later.
+	clk.advance(30 * time.Second)
+	c.Compute(1, 1, add) // live update at t+30s; deadline unchanged
+	clk.advance(31 * time.Second)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("update extended the entry's life")
+	}
+	// Expired entry: Compute restarts from the operand, not the corpse.
+	c.SetTTL(2, 100, time.Second)
+	clk.advance(2 * time.Second)
+	if !c.Compute(2, 7, add) {
+		t.Fatal("compute on expired key did not report insert")
+	}
+	if v, _ := c.Get(2); v != 7 {
+		t.Fatalf("compute over expired = %d, want 7 (not 107)", v)
+	}
+}
+
+// TestCompareAndSwapSemantics: value-level CAS preserves the deadline
+// and treats expired entries as absent.
+func TestCompareAndSwapSemantics(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk)
+	defer c.Close()
+
+	c.SetTTL(1, "a", time.Minute)
+	if swapped, found := c.CompareAndSwap(1, "x", "b"); swapped || !found {
+		t.Fatalf("mismatched CAS = %v, %v", swapped, found)
+	}
+	if swapped, found := c.CompareAndSwap(1, "a", "b"); !swapped || !found {
+		t.Fatalf("matched CAS = %v, %v", swapped, found)
+	}
+	if v, _ := c.Get(1); v != "b" {
+		t.Fatalf("CAS left %q", v)
+	}
+	if swapped, found := c.CompareAndSwap(9, "a", "b"); swapped || found {
+		t.Fatalf("absent CAS = %v, %v", swapped, found)
+	}
+	// The swap kept the deadline.
+	clk.advance(2 * time.Minute)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("CAS extended the entry's life")
+	}
+	// Expired entries are absent to CAS — and collected in passing.
+	c.SetTTL(2, "a", time.Second)
+	clk.advance(2 * time.Second)
+	if swapped, found := c.CompareAndSwap(2, "a", "b"); swapped || found {
+		t.Fatalf("expired CAS = %v, %v", swapped, found)
+	}
+	if _, ok := c.m.Load(2); ok {
+		t.Fatal("expired entry survived the CAS probe")
+	}
+}
+
+// TestExpireAndTTL covers re-deadlining and TTL introspection.
+func TestExpireAndTTL(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk)
+	defer c.Close()
+
+	c.SetTTL(1, "v", time.Minute)
+	if d, ok := c.TTL(1); !ok || d != time.Minute {
+		t.Fatalf("ttl = %v, %v", d, ok)
+	}
+	if !c.Expire(1, time.Hour) {
+		t.Fatal("expire refused a live key")
+	}
+	if d, _ := c.TTL(1); d != time.Hour {
+		t.Fatalf("re-deadlined ttl = %v", d)
+	}
+	if !c.Expire(1, 0) { // 0 = immortal
+		t.Fatal("expire-to-immortal refused")
+	}
+	if d, ok := c.TTL(1); !ok || d >= 0 {
+		t.Fatalf("immortal ttl = %v, %v", d, ok)
+	}
+	if c.Expire(9, time.Minute) {
+		t.Fatal("expire invented a key")
+	}
+	// Expire cannot revive the dead.
+	c.SetTTL(2, "v", time.Second)
+	clk.advance(2 * time.Second)
+	if c.Expire(2, time.Hour) {
+		t.Fatal("expire revived an expired entry")
+	}
+	if _, ok := c.TTL(2); ok {
+		t.Fatal("ttl of an expired entry reported ok")
+	}
+}
+
+// TestDeleteExpired: deleting an expired entry reports "was absent" but
+// still collects it.
+func TestDeleteExpired(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk)
+	defer c.Close()
+
+	c.SetTTL(1, "v", time.Second)
+	clk.advance(2 * time.Second)
+	if c.Delete(1) {
+		t.Fatal("delete of an expired entry returned true")
+	}
+	if c.storedLen() != 0 {
+		t.Fatal("expired entry survived delete")
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestEvictionBudget: under sustained over-budget insertion the cache
+// holds its size near the configured bound and prefers cold entries.
+// evKey rides the generic route, whose size counter is exact, so the
+// bound can be asserted tightly.
+func TestEvictionBudget(t *testing.T) {
+	clk := newFakeClock()
+	const budget = 128
+	c := newTestCache[evKey, string](clk, growt.WithMaxEntries(budget))
+	defer c.Close()
+
+	// Fill to budget with immortal entries...
+	for i := evKey(0); i < budget; i++ {
+		c.SetTTL(i, "cold", 0)
+	}
+	// ...make the first half hot (much later access clock)...
+	clk.advance(time.Hour)
+	for i := evKey(0); i < budget/2; i++ {
+		c.Get(i)
+	}
+	// ...then push 4× the budget of fresh keys through.
+	for i := evKey(1000); i < 1000+4*budget; i++ {
+		c.SetTTL(i, "new", 0)
+	}
+	if size := c.Len(); size > budget+maxEvictPerWrite {
+		t.Fatalf("size %d blew the budget %d", size, budget)
+	}
+	st := c.Stats()
+	if st.Evicted == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// Approximate LRU: hot survivors must not lose to cold survivors.
+	hot, cold := 0, 0
+	for i := evKey(0); i < budget/2; i++ {
+		if _, ok := c.m.Load(i); ok {
+			hot++
+		}
+	}
+	for i := evKey(budget / 2); i < budget; i++ {
+		if _, ok := c.m.Load(i); ok {
+			cold++
+		}
+	}
+	if hot < cold {
+		t.Fatalf("sampled LRU evicted hot before cold: %d hot vs %d cold survivors", hot, cold)
+	}
+}
+
+// TestRangeSkipsExpired: Range surfaces only live entries.
+func TestRangeSkipsExpired(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk)
+	defer c.Close()
+	c.SetTTL(1, "live", 0)
+	c.SetTTL(2, "dying", time.Second)
+	clk.advance(2 * time.Second)
+	seen := map[uint64]string{}
+	c.Range(func(k uint64, v string) bool { seen[k] = v; return true })
+	if len(seen) != 1 || seen[1] != "live" {
+		t.Fatalf("range saw %v", seen)
+	}
+}
+
+// TestCacheRoutes smoke-tests the cache over the string and generic key
+// routes (the server rides the generic route via its named-string Key).
+func TestCacheRoutes(t *testing.T) {
+	type namedKey string
+	clk := newFakeClock()
+	t.Run("generic", func(t *testing.T) {
+		c := newTestCache[namedKey, string](clk)
+		defer c.Close()
+		c.SetTTL("a", "1", time.Minute)
+		if v, ok := c.Get("a"); !ok || v != "1" {
+			t.Fatalf("get = %q, %v", v, ok)
+		}
+		clk.advance(2 * time.Minute)
+		if _, ok := c.Get("a"); ok {
+			t.Fatal("expired generic-route entry observable")
+		}
+	})
+	t.Run("string", func(t *testing.T) {
+		c := newTestCache[string, string](clk)
+		defer c.Close()
+		c.SetTTL("a", "1", time.Minute)
+		if v, ok := c.Get("a"); !ok || v != "1" {
+			t.Fatalf("get = %q, %v", v, ok)
+		}
+		clk.advance(2 * time.Minute)
+		if _, ok := c.Get("a"); ok {
+			t.Fatal("expired string-route entry observable")
+		}
+	})
+}
+
+// TestDefaultTTLFromOptions: Set uses WithTTL's default; SetTTL
+// overrides per entry; ResolveCacheSettings reads back the knobs.
+func TestDefaultTTLFromOptions(t *testing.T) {
+	set := growt.ResolveCacheSettings(
+		growt.WithTTL(time.Minute),
+		growt.WithMaxEntries(10),
+		growt.WithSweepInterval(time.Second),
+	)
+	if set.TTL != time.Minute || set.MaxEntries != 10 || set.SweepInterval != time.Second {
+		t.Fatalf("resolved settings = %+v", set)
+	}
+
+	clk := newFakeClock()
+	c := newTestCache[uint64, string](clk, growt.WithTTL(time.Minute))
+	defer c.Close()
+	c.Set(1, "default-ttl")
+	c.SetTTL(2, "longer", time.Hour)
+	clk.advance(2 * time.Minute)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("default TTL not applied by Set")
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Fatal("per-entry TTL overridden by default")
+	}
+}
+
+// TestBackgroundSweeper exercises the real ticker loop end to end (real
+// clock; generous deadline so CI timing noise cannot bite).
+func TestBackgroundSweeper(t *testing.T) {
+	c := New[evKey, string](growt.WithSweepInterval(10 * time.Millisecond))
+	defer c.Close()
+	for i := evKey(0); i < 50; i++ {
+		c.SetTTL(i, "v", 20*time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.storedLen() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper left %d expired entries after 5s", c.storedLen())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := c.Stats(); st.Expired != 50 || st.Sweeps == 0 {
+		t.Fatalf("stats after background sweep = %+v", st)
+	}
+}

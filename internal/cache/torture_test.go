@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	growt "repro"
+)
+
+// This file is the cache's -race torture rack: concurrent
+// SETEX/GET/EXPIRE/DELETE traffic with a sweeping goroutine, run over a
+// deliberately tiny initial table so the word core migrates constantly
+// underneath (tombstones from expiry count toward the §5.4 migration
+// trigger, so an expiring workload is migration churn by construction).
+//
+// The load-bearing invariant is encoded in the values: every write
+// stores its own absolute expiry deadline as the value, so any Get hit
+// can check "was this entry live when I started?" without any shared
+// test state. A hit whose deadline precedes the Get's start time is an
+// expired value escaping — the bug class this layer must exclude.
+
+// tortureCache runs the mixed expiring workload over c for dur.
+func tortureCache(t *testing.T, c *Cache[uint64, int64], keys uint64, dur time.Duration) {
+	t.Helper()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	worker := func(body func(r *testRNG)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := newTestRNG(uint64(time.Now().UnixNano()))
+			for !stop.Load() {
+				body(r)
+			}
+		}()
+	}
+
+	// Writers: expiring stores whose value IS the stored deadline —
+	// SetExpiry makes them exactly equal, so the read-side assertion has
+	// no scheduling slack to tolerate.
+	for i := 0; i < 3; i++ {
+		worker(func(r *testRNG) {
+			k := r.next() % keys
+			ttl := time.Duration(1+r.next()%8) * time.Millisecond
+			dl := time.Now().UnixNano() + int64(ttl)
+			c.SetExpiry(k, dl, dl)
+		})
+	}
+	// Readers: the expired-never-observable assertion.
+	for i := 0; i < 3; i++ {
+		worker(func(r *testRNG) {
+			k := r.next() % keys
+			before := time.Now().UnixNano()
+			if dl, ok := c.Get(k); ok && before >= dl {
+				stop.Store(true)
+				t.Errorf("expired value escaped: deadline %d, read started %d (%.2fms late)",
+					dl, before, float64(before-dl)/1e6)
+			}
+		})
+	}
+	// Deleters + deadline-shrinkers. Expire may only ever SHRINK a
+	// deadline here: the stored value records the write's deadline, so
+	// extending would invalidate the read-side assertion — and shrinking
+	// still races Expire's update CAS against writers and the sweeper.
+	worker(func(r *testRNG) {
+		k := r.next() % keys
+		if r.next()%2 == 0 {
+			c.Delete(k)
+		} else {
+			_ = c.Expire(k, time.Nanosecond)
+		}
+	})
+	// Sweeper: incremental proactive expiry in small slices.
+	worker(func(r *testRNG) {
+		c.SweepOnce(64)
+		time.Sleep(200 * time.Microsecond)
+	})
+
+	time.AfterFunc(dur, func() { stop.Store(true) })
+	wg.Wait()
+}
+
+// TestCacheTortureExpiredNeverObservable wires the rack to tiny growing
+// tables (capacity 8, several strategies, with and without TSX) so
+// migrations run continuously under the expiry races.
+func TestCacheTortureExpiredNeverObservable(t *testing.T) {
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = 300 * time.Millisecond
+	}
+	for _, tc := range []struct {
+		name string
+		opts []growt.Option
+	}{
+		{"uaGrow-cap8", []growt.Option{growt.WithCapacity(8)}},
+		{"usGrow-cap8", []growt.Option{growt.WithStrategy(growt.USGrow), growt.WithCapacity(8)}},
+		{"uaGrow-tsx-cap8", []growt.Option{growt.WithCapacity(8), growt.WithTSX()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append(tc.opts, growt.WithSweepInterval(-1))
+			c := New[uint64, int64](opts...)
+			defer c.Close()
+			tortureCache(t, c, 256, dur)
+		})
+	}
+}
+
+// TestCacheTortureExactCounters: concurrent Compute increments on
+// immortal keys must stay exact while an expiring churn workload (and
+// the sweeper) rages on a disjoint keyspace in the same table — the
+// sweeper and the expiry races may never eat a live immortal entry.
+func TestCacheTortureExactCounters(t *testing.T) {
+	rounds := 2000
+	if testing.Short() {
+		rounds = 300
+	}
+	c := New[uint64, int64](growt.WithCapacity(8), growt.WithSweepInterval(-1))
+	defer c.Close()
+
+	const counters = 8
+	const churnBase = uint64(1 << 20) // disjoint from counter keys
+	var stop atomic.Bool
+	var churnWG, addWG sync.WaitGroup
+
+	// Churn: short-TTL writes + sweeps, forcing migrations under the
+	// counters' feet.
+	for i := 0; i < 2; i++ {
+		churnWG.Add(1)
+		go func(seed uint64) {
+			defer churnWG.Done()
+			r := newTestRNG(seed)
+			for !stop.Load() {
+				k := churnBase + r.next()%512
+				c.SetTTL(k, 0, time.Duration(1+r.next()%4)*time.Millisecond)
+				if r.next()%8 == 0 {
+					c.SweepOnce(64)
+				}
+			}
+		}(uint64(i) + 1)
+	}
+
+	const workers = 4
+	add := func(cur, d int64) int64 { return cur + d }
+	for w := 0; w < workers; w++ {
+		addWG.Add(1)
+		go func(w int) {
+			defer addWG.Done()
+			for i := 0; i < rounds; i++ {
+				c.Compute(uint64((i+w)%counters), 1, add)
+			}
+		}(w)
+	}
+	addWG.Wait()
+	stop.Store(true)
+	churnWG.Wait()
+
+	var total int64
+	for k := uint64(0); k < counters; k++ {
+		v, ok := c.Get(k)
+		if !ok {
+			t.Fatalf("immortal counter %d vanished", k)
+		}
+		total += v
+	}
+	if want := int64(workers * rounds); total != want {
+		t.Fatalf("lost increments under churn: %d, want %d", total, want)
+	}
+}
+
+// TestCacheTortureBudgetHolds: open-loop concurrent writes of distinct
+// keys against a budget; the exact-counting generic route must stay
+// within the budget plus bounded concurrency slack, and after the storm
+// a single write pass must pull it back under budget + per-write bound.
+func TestCacheTortureBudgetHolds(t *testing.T) {
+	perWorker := 4000
+	if testing.Short() {
+		perWorker = 500
+	}
+	const budget = 512
+	c := New[evKey, int64](growt.WithMaxEntries(budget), growt.WithSweepInterval(-1))
+	defer c.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var over atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.SetTTL(evKey(uint64(w)<<32|uint64(i)), 0, 0)
+				if s := int64(c.Len()) - (budget + workers*maxEvictPerWrite); s > over.Load() {
+					over.Store(s) // racy max is fine: any positive is a report
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if o := over.Load(); o > 0 {
+		t.Fatalf("budget overshot concurrency slack by %d entries", o)
+	}
+	// Quiescent: a few closing writes drain any transient excess.
+	for i := 0; i < maxEvictPerWrite; i++ {
+		c.SetTTL(evKey(1<<60+uint64(i)), 0, 0)
+	}
+	if size := c.Len(); size > budget+maxEvictPerWrite {
+		t.Fatalf("quiescent size %d exceeds budget %d", size, budget)
+	}
+	if st := c.Stats(); st.Evicted == 0 {
+		t.Fatal("no evictions under a 60× over-budget storm")
+	}
+}
+
+// testRNG is a tiny splitmix64 so torture goroutines need no locking.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed | 1} }
+func (r *testRNG) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

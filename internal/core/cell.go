@@ -108,6 +108,7 @@ const (
 	statusAbsent                   // update/delete/find refused: key not live
 	statusMarked                   // hit a marked cell: help migration, retry in new table
 	statusFull                     // probe limit exceeded: table (locally) full
+	statusMismatch                 // conditional delete refused: value differs
 )
 
 // longProbeLimit bounds the probe distance before an insert reports the
@@ -549,6 +550,47 @@ func (t *Table) deleteCore(k uint64) (uint64, opStatus) {
 		i = (i + 1) & mask
 	}
 	return 0, statusAbsent
+}
+
+// compareAndDeleteCore tombstones k iff its current value equals want.
+// The conditional tombstoning CAS is the linearization point: on
+// statusUpdated the removed value was exactly want at the instant of
+// removal. statusMismatch reports a live element holding a different
+// value (nothing written).
+func (t *Table) compareAndDeleteCore(k, want uint64) opStatus {
+	h := hashfn.Hash64(k)
+	i := t.index(h)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			return statusAbsent
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				// Linearize before the in-flight insert.
+				return statusAbsent
+			}
+			for {
+				v := t.loadVal(i)
+				if v&markedBit != 0 {
+					return statusMarked
+				}
+				if v&liveBit == 0 {
+					return statusAbsent
+				}
+				if v&valueMask != want {
+					return statusMismatch
+				}
+				if t.casVal(i, v, v&^liveBit) {
+					return statusUpdated
+				}
+				t.recheckKey(i, k)
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return statusAbsent
 }
 
 // rangeCore calls f on every live element; quiescent use only.

@@ -115,6 +115,18 @@ func (h *folkloreHandle) InsertOrAdd(k, d uint64) bool {
 	}
 }
 
+// CompareAndDelete implements tables.CompareAndDeleter: the element is
+// tombstoned iff the conditional CAS observes exactly want.
+func (h *folkloreHandle) CompareAndDelete(k, want uint64) bool {
+	checkKey(k)
+	checkValue(want)
+	if h.f.t.compareAndDeleteCore(k, want) == statusUpdated {
+		h.lc.bumpDel(&h.f.c)
+		return true
+	}
+	return false
+}
+
 func (h *folkloreHandle) Find(k uint64) (uint64, bool) {
 	checkKey(k)
 	return h.f.t.findCore(k)

@@ -200,6 +200,37 @@ func (h *fullKeysHandle) Delete(k uint64) bool {
 	return h.sub(hi).Delete(core)
 }
 
+// CompareAndDelete implements tables.CompareAndDeleter. Every core
+// handle a FullKeys wraps in this repository is a CompareAndDeleter; for
+// a foreign subtable without the capability it falls back to
+// find-then-delete, which can delete a value the comparison never saw
+// against a concurrent overwrite.
+func (h *fullKeysHandle) CompareAndDelete(k, want uint64) bool {
+	hi, core, special := split(k)
+	if special {
+		h.f.mu.Lock()
+		defer h.f.mu.Unlock()
+		if v, ok := h.f.special[k]; ok && v == want {
+			delete(h.f.special, k)
+			return true
+		}
+		return false
+	}
+	sub := h.sub(hi)
+	if cd, ok := sub.(tables.CompareAndDeleter); ok {
+		return cd.CompareAndDelete(core, want)
+	}
+	for {
+		v, ok := sub.Find(core)
+		if !ok || v != want {
+			return false
+		}
+		if sub.Delete(core) {
+			return true
+		}
+	}
+}
+
 // LoadAndDelete implements tables.LoadDeleter. Every core handle a
 // FullKeys wraps in this repository is a LoadDeleter; for a foreign
 // subtable without the capability it falls back to find-then-delete,

@@ -533,6 +533,38 @@ func (h *growHandle) Delete(k uint64) bool {
 	return ok
 }
 
+// CompareAndDelete implements tables.CompareAndDeleter. A conditional
+// delete that loses to a migration mark retries in the successor
+// generation like Delete; the verdict is decided by the conditional CAS
+// that finally lands.
+func (h *growHandle) CompareAndDelete(k, want uint64) bool {
+	checkKey(k)
+	checkValue(want)
+	for {
+		t, ok := h.enter()
+		if !ok {
+			continue
+		}
+		var st opStatus
+		if h.g.tx != nil {
+			st = t.compareAndDeleteTSX(h.g.tx, k, want)
+		} else {
+			st = t.compareAndDeleteCore(k, want)
+		}
+		switch st {
+		case statusUpdated:
+			h.exit(h.bumpDel(t))
+			return true
+		case statusAbsent, statusMismatch:
+			h.exit(false)
+			return false
+		case statusMarked:
+			h.exit(false)
+			h.g.assist()
+		}
+	}
+}
+
 // LoadAndDelete implements tables.LoadDeleter. A delete that loses to a
 // migration mark retries in the successor generation like Delete; the
 // value returned is the one removed by the CAS that finally wins.

@@ -185,6 +185,43 @@ func (t *Table) deleteTSX(r *htm.TxRegion, k uint64) (uint64, opStatus) {
 	return 0, statusAbsent
 }
 
+// compareAndDeleteTSX is the transactional conditional delete: it
+// tombstones k iff the value read inside the transaction equals want, so
+// the verdict and the removal are one atomic step.
+func (t *Table) compareAndDeleteTSX(r *htm.TxRegion, k, want uint64) opStatus {
+	i := hashIndex(t, k)
+	mask := t.capacity - 1
+	for probes := uint64(0); probes <= t.probeCap; probes++ {
+		kw := t.loadKey(i)
+		if kw == 0 {
+			return statusAbsent
+		}
+		if kw&keyMask == k {
+			if kw&pendingBit != 0 {
+				return statusAbsent
+			}
+			r.Begin(i)
+			v := t.loadVal(i)
+			switch {
+			case v&markedBit != 0:
+				r.End(i)
+				return statusMarked
+			case v&liveBit == 0:
+				r.End(i)
+				return statusAbsent
+			case v&valueMask != want:
+				r.End(i)
+				return statusMismatch
+			}
+			t.storeVal(i, v&^liveBit)
+			r.End(i)
+			return statusUpdated
+		}
+		i = (i + 1) & mask
+	}
+	return statusAbsent
+}
+
 // TSXFolklore is the bounded folklore table with transactional writers
 // (§6, Fig. 9a). Reads are identical to Folklore's.
 type TSXFolklore struct {
@@ -291,6 +328,18 @@ func (h *tsxFolkloreHandle) LoadAndDelete(k uint64) (uint64, bool) {
 		return v, true
 	}
 	return 0, false
+}
+
+// CompareAndDelete implements tables.CompareAndDeleter: the value
+// comparison happens inside the tombstoning transaction.
+func (h *tsxFolkloreHandle) CompareAndDelete(k, want uint64) bool {
+	checkKey(k)
+	checkValue(want)
+	if h.f.t.compareAndDeleteTSX(h.f.tx, k, want) == statusUpdated {
+		h.lc.bumpDel(&h.f.c)
+		return true
+	}
+	return false
 }
 
 // hashIndex is a small helper shared by the TSX paths.

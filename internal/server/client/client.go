@@ -120,16 +120,16 @@ func (cl *Client) conn() *conn {
 
 // Ping round-trips a liveness probe.
 func (cl *Client) Ping() error {
-	r := cl.conn().roundTrip(server.OpPing, nil, 0, false)
+	r := cl.conn().roundTrip(server.OpPing, nil)
 	if r.Err != nil {
 		return r.Err
 	}
 	return expectOK("PING", r)
 }
 
-// Get fetches the value at key; ok is false when absent.
+// Get fetches the value at key; ok is false when absent (or expired).
 func (cl *Client) Get(key []byte) (val []byte, ok bool, err error) {
-	r := cl.conn().roundTrip(server.OpGet, [][]byte{key}, 0, false)
+	r := cl.conn().roundTrip(server.OpGet, bodyOf([][]byte{key}, 0, false))
 	switch {
 	case r.Err != nil:
 		return nil, false, r.Err
@@ -141,18 +141,63 @@ func (cl *Client) Get(key []byte) (val []byte, ok bool, err error) {
 	return nil, false, statusErr("GET", r)
 }
 
-// Set unconditionally stores ⟨key, val⟩.
+// Set unconditionally stores ⟨key, val⟩ under the server's default TTL.
 func (cl *Client) Set(key, val []byte) error {
-	r := cl.conn().roundTrip(server.OpSet, [][]byte{key, val}, 0, false)
+	r := cl.conn().roundTrip(server.OpSet, bodyOf([][]byte{key, val}, 0, false))
 	if r.Err != nil {
 		return r.Err
 	}
 	return expectOK("SET", r)
 }
 
-// Del removes key; ok reports whether it was present.
+// SetEx stores ⟨key, val⟩ with an explicit per-entry TTL (millisecond
+// wire resolution, sub-ms values round up; ttl <= 0 stores an immortal
+// entry).
+func (cl *Client) SetEx(key, val []byte, ttl time.Duration) error {
+	r := cl.conn().roundTrip(server.OpSetEx, bodyOf([][]byte{key, val}, ttlToMillis(ttl), true))
+	if r.Err != nil {
+		return r.Err
+	}
+	return expectOK("SETEX", r)
+}
+
+// Expire re-deadlines the live entry at key to now+ttl; ok is false
+// when the key is absent or already expired.
+func (cl *Client) Expire(key []byte, ttl time.Duration) (ok bool, err error) {
+	r := cl.conn().roundTrip(server.OpExpire, bodyOf([][]byte{key}, ttlToMillis(ttl), true))
+	switch {
+	case r.Err != nil:
+		return false, r.Err
+	case r.Status == server.StatusOK:
+		return true, nil
+	case r.Status == server.StatusNotFound:
+		return false, nil
+	}
+	return false, statusErr("EXPIRE", r)
+}
+
+// TTL returns the remaining time-to-live of the live entry at key.
+// ok is false when the key is absent or expired; a live entry with no
+// deadline reports ttl < 0.
+func (cl *Client) TTL(key []byte) (ttl time.Duration, ok bool, err error) {
+	r := cl.conn().roundTrip(server.OpTTL, bodyOf([][]byte{key}, 0, false))
+	switch {
+	case r.Err != nil:
+		return 0, false, r.Err
+	case r.Status == server.StatusNotFound:
+		return 0, false, nil
+	case r.Status == server.StatusOK:
+		if r.N == server.TTLImmortal {
+			return -1, true, nil
+		}
+		return time.Duration(r.N) * time.Millisecond, true, nil
+	}
+	return 0, false, statusErr("TTL", r)
+}
+
+// Del removes key; ok reports whether a live entry was present.
 func (cl *Client) Del(key []byte) (ok bool, err error) {
-	r := cl.conn().roundTrip(server.OpDel, [][]byte{key}, 0, false)
+	r := cl.conn().roundTrip(server.OpDel, bodyOf([][]byte{key}, 0, false))
 	switch {
 	case r.Err != nil:
 		return false, r.Err
@@ -168,7 +213,7 @@ func (cl *Client) Del(key []byte) (ok bool, err error) {
 // old. swapped reports success; found distinguishes a mismatch
 // (found=true) from an absent key (found=false).
 func (cl *Client) CAS(key, old, new []byte) (swapped, found bool, err error) {
-	r := cl.conn().roundTrip(server.OpCAS, [][]byte{key, old, new}, 0, false)
+	r := cl.conn().roundTrip(server.OpCAS, bodyOf([][]byte{key, old, new}, 0, false))
 	switch {
 	case r.Err != nil:
 		return false, false, r.Err
@@ -185,7 +230,7 @@ func (cl *Client) CAS(key, old, new []byte) (swapped, found bool, err error) {
 // Incr adds delta to the 8-byte big-endian counter at key (absent keys
 // start at 0) and returns the new value.
 func (cl *Client) Incr(key []byte, delta uint64) (uint64, error) {
-	r := cl.conn().roundTrip(server.OpIncr, [][]byte{key}, delta, true)
+	r := cl.conn().roundTrip(server.OpIncr, bodyOf([][]byte{key}, delta, true))
 	switch {
 	case r.Err != nil:
 		return 0, r.Err
@@ -197,7 +242,7 @@ func (cl *Client) Incr(key []byte, delta uint64) (uint64, error) {
 
 // Size returns the server's approximate element count.
 func (cl *Client) Size() (uint64, error) {
-	r := cl.conn().roundTrip(server.OpSize, nil, 0, false)
+	r := cl.conn().roundTrip(server.OpSize, nil)
 	switch {
 	case r.Err != nil:
 		return 0, r.Err
@@ -205,6 +250,82 @@ func (cl *Client) Size() (uint64, error) {
 		return r.N, nil
 	}
 	return 0, statusErr("SIZE", r)
+}
+
+// MGet fetches a batch of keys in one frame. vals is parallel to keys:
+// vals[i] is nil when keys[i] was absent (or expired) — a partial miss
+// is an ordinary reply, not an error. A present-but-empty value comes
+// back as a non-nil empty slice.
+func (cl *Client) MGet(keys ...[]byte) (vals [][]byte, err error) {
+	b := server.AppendUint32(nil, uint32(len(keys)))
+	for _, k := range keys {
+		b = server.AppendBytes(b, k)
+	}
+	r := cl.conn().roundTrip(server.OpMGet, b)
+	switch {
+	case r.Err != nil:
+		return nil, r.Err
+	case r.Status != server.StatusOK:
+		return nil, statusErr("MGET", r)
+	}
+	return parseMGet(r.Val, len(keys))
+}
+
+// parseMGet decodes an MGET reply body: per requested key, found:u8 then
+// (when found) the value as a length-prefixed byte string.
+func parseMGet(b []byte, n int) ([][]byte, error) {
+	vals := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("client: MGET: reply truncated at entry %d", i)
+		}
+		found := b[0] != 0
+		b = b[1:]
+		if !found {
+			vals = append(vals, nil)
+			continue
+		}
+		if len(b) < 4 {
+			return nil, fmt.Errorf("client: MGET: reply truncated at entry %d", i)
+		}
+		vlen := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < vlen {
+			return nil, fmt.Errorf("client: MGET: reply truncated at entry %d", i)
+		}
+		vals = append(vals, append([]byte{}, b[:vlen]...))
+		b = b[vlen:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("client: MGET: %d trailing reply bytes", len(b))
+	}
+	return vals, nil
+}
+
+// MSet stores a batch of ⟨key, val⟩ pairs in one frame under the
+// server's default TTL. A malformed batch applies nothing server-side.
+func (cl *Client) MSet(pairs ...[2][]byte) error {
+	b := server.AppendUint32(nil, uint32(len(pairs)))
+	for _, kv := range pairs {
+		b = server.AppendBytes(b, kv[0])
+		b = server.AppendBytes(b, kv[1])
+	}
+	r := cl.conn().roundTrip(server.OpMSet, b)
+	if r.Err != nil {
+		return r.Err
+	}
+	return expectOK("MSET", r)
+}
+
+// ttlToMillis converts a duration into the wire's millisecond TTL
+// domain (0 = immortal), saturating negatives to 0. Positive sub-
+// millisecond TTLs round UP to 1 ms: truncation would flip "expire
+// almost immediately" into "never expire".
+func ttlToMillis(ttl time.Duration) uint64 {
+	if ttl <= 0 {
+		return 0
+	}
+	return uint64((ttl + time.Millisecond - 1) / time.Millisecond)
 }
 
 // ---------------------------------------------------------------------
@@ -215,17 +336,22 @@ func (cl *Client) Size() (uint64, error) {
 
 // GetAsync pipelines a GET.
 func (cl *Client) GetAsync(key []byte, cb func(Resp)) {
-	cl.conn().send(server.OpGet, [][]byte{key}, 0, false, cb)
+	cl.conn().send(server.OpGet, bodyOf([][]byte{key}, 0, false), cb)
 }
 
 // SetAsync pipelines a SET.
 func (cl *Client) SetAsync(key, val []byte, cb func(Resp)) {
-	cl.conn().send(server.OpSet, [][]byte{key, val}, 0, false, cb)
+	cl.conn().send(server.OpSet, bodyOf([][]byte{key, val}, 0, false), cb)
+}
+
+// SetExAsync pipelines a SETEX (the open-loop expiring workload's write).
+func (cl *Client) SetExAsync(key, val []byte, ttl time.Duration, cb func(Resp)) {
+	cl.conn().send(server.OpSetEx, bodyOf([][]byte{key, val}, ttlToMillis(ttl), true), cb)
 }
 
 // IncrAsync pipelines an INCR.
 func (cl *Client) IncrAsync(key []byte, delta uint64, cb func(Resp)) {
-	cl.conn().send(server.OpIncr, [][]byte{key}, delta, true, cb)
+	cl.conn().send(server.OpIncr, bodyOf([][]byte{key}, delta, true), cb)
 }
 
 func expectOK(op string, r Resp) error {
@@ -288,11 +414,12 @@ func (c *conn) close(cause error) {
 	})
 }
 
-// send encodes and pipelines one request; cb always fires exactly once.
-// Every entry of fields is emitted — a nil slice encodes as a
-// zero-length byte string, never as a missing field, so callers passing
-// nil keys or values produce well-formed frames.
-func (c *conn) send(kind byte, fields [][]byte, n uint64, hasN bool, cb func(Resp)) {
+// send pipelines one request whose body was pre-encoded with the wire
+// helpers (AppendBytes/AppendUint64/AppendUint32); cb always fires
+// exactly once. Nil byte-string fields encode as zero-length fields,
+// never as missing ones, so callers passing nil keys or values produce
+// well-formed frames.
+func (c *conn) send(kind byte, reqBody []byte, cb func(Resp)) {
 	c.mu.Lock()
 	if c.pending == nil {
 		err := c.sticky
@@ -306,12 +433,7 @@ func (c *conn) send(kind byte, fields [][]byte, n uint64, hasN bool, cb func(Res
 	c.mu.Unlock()
 
 	frame := server.BeginFrame(nil, id, kind)
-	for _, f := range fields {
-		frame = server.AppendBytes(frame, f)
-	}
-	if hasN {
-		frame = server.AppendUint64(frame, n)
-	}
+	frame = append(frame, reqBody...)
 	frame = server.EndFrame(frame, 0)
 
 	select {
@@ -319,6 +441,19 @@ func (c *conn) send(kind byte, fields [][]byte, n uint64, hasN bool, cb func(Res
 	case <-c.done:
 		c.fail(id) // the reader's teardown may already have fired it
 	}
+}
+
+// bodyOf encodes the common request-body shape: any number of
+// length-prefixed byte-string fields, optionally followed by one u64.
+func bodyOf(fields [][]byte, n uint64, hasN bool) []byte {
+	var b []byte
+	for _, f := range fields {
+		b = server.AppendBytes(b, f)
+	}
+	if hasN {
+		b = server.AppendUint64(b, n)
+	}
+	return b
 }
 
 // fail fires the pending callback for id with the sticky error, if the
@@ -342,9 +477,9 @@ func (c *conn) fail(id uint64) {
 
 // roundTrip is send + wait. Val is copied inside the callback — the
 // reader's buffer is only stable for the callback's duration.
-func (c *conn) roundTrip(kind byte, fields [][]byte, n uint64, hasN bool) Resp {
+func (c *conn) roundTrip(kind byte, reqBody []byte) Resp {
 	ch := make(chan Resp, 1)
-	c.send(kind, fields, n, hasN, func(r Resp) {
+	c.send(kind, reqBody, func(r Resp) {
 		if len(r.Val) > 0 {
 			r.Val = append([]byte(nil), r.Val...)
 		}

@@ -7,8 +7,6 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-
-	growt "repro"
 )
 
 // Options tunes a Server. The zero value is ready to use.
@@ -40,7 +38,11 @@ func (o *Options) defaults() {
 	}
 }
 
-// Stats is a snapshot of the server's counters, shaped for expvar.
+// Stats is a snapshot of the server's counters, shaped for expvar. The
+// hit/miss/expired/evicted block is sourced from the cache layer: hits
+// and misses count GET/MGET outcomes, expired counts entries collected
+// past their deadline (lazily or by the sweeper), evicted counts live
+// entries removed to hold the -max-entries budget.
 type Stats struct {
 	ConnsAccepted uint64 `json:"conns_accepted"`
 	ConnsActive   int64  `json:"conns_active"`
@@ -50,7 +52,17 @@ type Stats struct {
 	Dels          uint64 `json:"dels"`
 	CASes         uint64 `json:"cases"`
 	Incrs         uint64 `json:"incrs"`
+	SetExs        uint64 `json:"setexs"`
+	Expires       uint64 `json:"expires"`
+	TTLs          uint64 `json:"ttls"`
+	MGets         uint64 `json:"mgets"`
+	MSets         uint64 `json:"msets"`
 	ProtocolErrs  uint64 `json:"protocol_errs"`
+
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Expired uint64 `json:"expired"`
+	Evicted uint64 `json:"evicted"`
 }
 
 type counters struct {
@@ -62,12 +74,19 @@ type counters struct {
 	dels          atomic.Uint64
 	cases         atomic.Uint64
 	incrs         atomic.Uint64
+	setexs        atomic.Uint64
+	expires       atomic.Uint64
+	ttls          atomic.Uint64
+	mgets         atomic.Uint64
+	msets         atomic.Uint64
 	protocolErrs  atomic.Uint64
 }
 
 // Server serves the binary protocol over a Store. Each accepted
 // connection gets a session: the reader goroutine parses and executes
-// the pipeline in order against a private map handle, the writer
+// the pipeline in order against the shared cache (which pools its own
+// map handles — core handles register never-deregistered per-handle
+// state, so the bounded pool lives where the handles do), the writer
 // goroutine drains the response queue into a buffered writer and
 // flushes only when the queue runs empty — so a deep pipeline pays one
 // syscall per batch, not per response.
@@ -81,15 +100,6 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	// hpool recycles map handles across sessions. Core handles register
-	// per-handle state with the table that is never deregistered, so a
-	// handle per connection would leak under connection churn; the pool
-	// caps creation at its capacity and sessions beyond that *block* for
-	// a recycled handle (exactly Map.acquire's discipline — falling back
-	// to fresh handles would reintroduce the leak above the cap).
-	hpool   chan *growt.Handle[Key, string]
-	hcreate atomic.Int64
-
 	c counters
 }
 
@@ -100,34 +110,14 @@ func New(st *Store, opt Options) *Server {
 		st:    st,
 		opt:   opt,
 		conns: make(map[net.Conn]struct{}),
-		hpool: make(chan *growt.Handle[Key, string], 1024),
 	}
-}
-
-// acquireHandle takes a pooled handle, creating one only while fewer
-// than cap(hpool) exist; at the cap it blocks until a session ends.
-func (s *Server) acquireHandle() *growt.Handle[Key, string] {
-	select {
-	case h := <-s.hpool:
-		return h
-	default:
-	}
-	if s.hcreate.Add(1) <= int64(cap(s.hpool)) {
-		return s.st.M.Handle()
-	}
-	s.hcreate.Add(-1)
-	return <-s.hpool
-}
-
-// releaseHandle returns a handle to the pool. The send cannot block:
-// handles in circulation never exceed the channel capacity.
-func (s *Server) releaseHandle(h *growt.Handle[Key, string]) {
-	s.hpool <- h
 }
 
 // Stats snapshots the counters (expvar-friendly: growd publishes it via
-// expvar.Func).
+// expvar.Func), merging the cache layer's hit/miss/expired/evicted
+// block into the protocol-level counts.
 func (s *Server) Stats() Stats {
+	cs := s.st.C.Stats()
 	return Stats{
 		ConnsAccepted: s.c.connsAccepted.Load(),
 		ConnsActive:   s.c.connsActive.Load(),
@@ -137,7 +127,16 @@ func (s *Server) Stats() Stats {
 		Dels:          s.c.dels.Load(),
 		CASes:         s.c.cases.Load(),
 		Incrs:         s.c.incrs.Load(),
+		SetExs:        s.c.setexs.Load(),
+		Expires:       s.c.expires.Load(),
+		TTLs:          s.c.ttls.Load(),
+		MGets:         s.c.mgets.Load(),
+		MSets:         s.c.msets.Load(),
 		ProtocolErrs:  s.c.protocolErrs.Load(),
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Expired:       cs.Expired,
+		Evicted:       cs.Evicted,
 	}
 }
 
@@ -278,8 +277,6 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan []byte, done chan<- struct{
 func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}) {
 	defer close(out)
 	br := bufio.NewReaderSize(conn, s.opt.ReadBuffer)
-	h := s.acquireHandle()
-	defer s.releaseHandle(h)
 	var frameBuf []byte // ReadFrame scratch, reused across frames
 	for {
 		id, kind, reqBody, nbuf, err := ReadFrame(br, s.opt.MaxFrame, frameBuf)
@@ -295,7 +292,7 @@ func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}
 		}
 		// Each response frame is freshly allocated: ownership moves to the
 		// writer goroutine at the send.
-		resp, fatal := s.exec(h, nil, id, kind, reqBody)
+		resp, fatal := s.exec(nil, id, kind, reqBody)
 		if !s.trySend(out, done, resp) {
 			return
 		}
@@ -330,8 +327,9 @@ func errFrame(dst []byte, id uint64, msg string) []byte {
 // does not parse) after which the connection must close; operation
 // failures (absent key, CAS mismatch, non-counter INCR target) are
 // ordinary statuses and keep the session alive.
-func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind byte, reqBody []byte) (frame []byte, fatal bool) {
+func (s *Server) exec(dst []byte, id uint64, kind byte, reqBody []byte) (frame []byte, fatal bool) {
 	s.c.ops.Add(1)
+	c := s.st.C
 	p := body{b: reqBody}
 	start := len(dst)
 	switch kind {
@@ -347,7 +345,7 @@ func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind 
 			break
 		}
 		s.c.gets.Add(1)
-		v, ok := h.Find(Key(key))
+		v, ok := c.Get(Key(key))
 		if !ok {
 			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
 		}
@@ -362,8 +360,45 @@ func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind 
 			break
 		}
 		s.c.sets.Add(1)
-		h.InsertOrUpdate(Key(key), string(val), growt.Replace[string])
+		c.Set(Key(key), string(val))
 		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+
+	case OpSetEx:
+		key := p.bytesField()
+		val := p.bytesField()
+		ttl := p.uint64Field()
+		if !p.done() {
+			break
+		}
+		s.c.setexs.Add(1)
+		c.SetTTL(Key(key), string(val), ttlMillis(ttl))
+		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+
+	case OpExpire:
+		key := p.bytesField()
+		ttl := p.uint64Field()
+		if !p.done() {
+			break
+		}
+		s.c.expires.Add(1)
+		if !c.Expire(Key(key), ttlMillis(ttl)) {
+			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
+		}
+		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+
+	case OpTTL:
+		key := p.bytesField()
+		if !p.done() {
+			break
+		}
+		s.c.ttls.Add(1)
+		d, ok := c.TTL(Key(key))
+		if !ok {
+			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
+		}
+		dst = BeginFrame(dst, id, StatusOK)
+		dst = AppendUint64(dst, ttlReply(d))
+		return EndFrame(dst, start), false
 
 	case OpDel:
 		key := p.bytesField()
@@ -371,7 +406,7 @@ func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind 
 			break
 		}
 		s.c.dels.Add(1)
-		if !h.Delete(Key(key)) {
+		if !c.Delete(Key(key)) {
 			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
 		}
 		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
@@ -384,13 +419,11 @@ func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind 
 			break
 		}
 		s.c.cases.Add(1)
-		if h.CompareAndSwap(Key(key), string(old), string(new)) {
+		swapped, found := c.CompareAndSwap(Key(key), string(old), string(new))
+		switch {
+		case swapped:
 			return EndFrame(BeginFrame(dst, id, StatusOK), start), false
-		}
-		// Refine the failure: mismatch vs absent. The re-find races
-		// concurrent writers, but only the status detail does — the swap
-		// verdict above is the atomic one.
-		if _, ok := h.Find(Key(key)); ok {
+		case found:
 			return EndFrame(BeginFrame(dst, id, StatusMismatch), start), false
 		}
 		return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
@@ -402,7 +435,7 @@ func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind 
 			break
 		}
 		s.c.incrs.Add(1)
-		v, ok := incr(h, Key(key), delta)
+		v, ok := incr(c, Key(key), delta)
 		if !ok {
 			return errFrame(dst, id, "INCR target is not an 8-byte counter"), false
 		}
@@ -415,8 +448,60 @@ func (s *Server) exec(h *growt.Handle[Key, string], dst []byte, id uint64, kind 
 			break
 		}
 		dst = BeginFrame(dst, id, StatusOK)
-		dst = AppendUint64(dst, s.st.M.ApproxSize())
+		dst = AppendUint64(dst, c.Len())
 		return EndFrame(dst, start), false
+
+	case OpMGet:
+		// Batched GET: the response body is, per requested key in request
+		// order, a found:u8 flag followed (when found) by the value as a
+		// length-prefixed byte string — so one frame answers the whole
+		// batch and partial misses are explicit, not terminal.
+		n := p.uint32Field()
+		keys := make([][]byte, 0, min(int(n), 64))
+		for i := uint32(0); i < n && !p.bad; i++ {
+			keys = append(keys, p.bytesField())
+		}
+		if !p.done() {
+			break
+		}
+		s.c.mgets.Add(1)
+		dst = BeginFrame(dst, id, StatusOK)
+		for _, key := range keys {
+			if v, ok := c.Get(Key(key)); ok {
+				dst = append(dst, 1)
+				dst = AppendBytes(dst, []byte(v))
+			} else {
+				dst = append(dst, 0)
+			}
+			// Individual requests are capped at MaxFrame, but a batch of
+			// large values can multiply past it — and a peer enforcing the
+			// same cap would tear the connection down over an oversized
+			// reply. Refuse with an ordinary per-request error instead.
+			if uint32(len(dst)-start-4) > s.opt.MaxFrame {
+				return errFrame(dst[:start], id,
+					"MGET reply exceeds the frame cap; split the batch"), false
+			}
+		}
+		return EndFrame(dst, start), false
+
+	case OpMSet:
+		// Batched default-TTL SET. The body is parsed and validated in
+		// full before any store: a malformed batch applies nothing.
+		n := p.uint32Field()
+		pairs := make([][2][]byte, 0, min(int(n), 64))
+		for i := uint32(0); i < n && !p.bad; i++ {
+			k := p.bytesField()
+			v := p.bytesField()
+			pairs = append(pairs, [2][]byte{k, v})
+		}
+		if !p.done() {
+			break
+		}
+		s.c.msets.Add(1)
+		for _, kv := range pairs {
+			c.Set(Key(kv[0]), string(kv[1]))
+		}
+		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
 	}
 	return errFrame(dst[:start], id, "malformed request"), true
 }

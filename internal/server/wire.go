@@ -31,12 +31,23 @@ const DefaultAddr = ":7420"
 const (
 	OpPing byte = 0x01 // liveness probe ("healthz"); empty body
 	OpGet  byte = 0x02 // key -> value
-	OpSet  byte = 0x03 // key value -> unconditional store
+	OpSet  byte = 0x03 // key value -> store with the server's default TTL
 	OpDel  byte = 0x04 // key -> remove
 	OpCAS  byte = 0x05 // key old new -> swap iff current == old
 	OpIncr byte = 0x06 // key delta:u64 -> add to an 8-byte counter value
 	OpSize byte = 0x07 // -> approximate element count
+
+	// Cache opcodes (PR 5): per-entry TTL and batched access.
+	OpSetEx  byte = 0x08 // key value ttlms:u64 -> store with explicit TTL
+	OpExpire byte = 0x09 // key ttlms:u64 -> re-deadline a live key
+	OpTTL    byte = 0x0A // key -> remaining TTL in ms (TTLImmortal = none)
+	OpMGet   byte = 0x0B // n:u32, n × key -> batched GET, per-key found flag
+	OpMSet   byte = 0x0C // n:u32, n × (key value) -> batched default-TTL SET
 )
+
+// TTLImmortal is the TTL response payload for a live entry with no
+// deadline (stored without a TTL on a server with no default TTL).
+const TTLImmortal = ^uint64(0)
 
 // Response statuses.
 const (
@@ -88,6 +99,11 @@ func AppendBytes(dst, b []byte) []byte {
 // AppendUint64 appends a fixed 8-byte body field.
 func AppendUint64(dst []byte, v uint64) []byte {
 	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// AppendUint32 appends a fixed 4-byte body field (batch counts).
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
 }
 
 // ReadFrame reads one frame from r into buf (grown as needed) and
@@ -152,6 +168,17 @@ func (p *body) uint64Field() uint64 {
 	}
 	v := binary.BigEndian.Uint64(p.b)
 	p.b = p.b[8:]
+	return v
+}
+
+// uint32Field consumes a fixed 4-byte integer (batch counts).
+func (p *body) uint32Field() uint32 {
+	if p.bad || len(p.b) < 4 {
+		p.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(p.b)
+	p.b = p.b[4:]
 	return v
 }
 

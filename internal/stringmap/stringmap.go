@@ -339,6 +339,36 @@ func (h *Handle) LoadAndDelete(s string) (uint64, bool) {
 	return 0, false
 }
 
+// CompareAndDelete tombstones s iff its current value word equals want;
+// the conditional CAS is the linearization point, so on true the removed
+// value was exactly want at the instant of removal.
+func (h *Handle) CompareAndDelete(s string, want uint64) bool {
+	hash := hashfn.HashString(s)
+	sig := sigOf(hash)
+	mask := h.m.capacity - 1
+	i := hash >> h.m.shift
+	for probes := uint64(0); probes <= h.m.capacity; probes++ {
+		kw := h.m.loadKey(i)
+		if kw == 0 {
+			return false
+		}
+		if kw&sigMask == sig && kw&pendingBit == 0 && h.m.ar.get(kw&refMask) == s {
+			for {
+				cur := h.m.loadVal(i)
+				if cur&liveBit == 0 || cur&valueMask != want {
+					return false
+				}
+				if h.m.casVal(i, cur, cur&^liveBit) {
+					h.m.size.Add(-1)
+					return true
+				}
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return false
+}
+
 // Range calls f on every live element; quiescent use only.
 func (m *Map) Range(f func(s string, v uint64) bool) {
 	for i := uint64(0); i < m.capacity; i++ {

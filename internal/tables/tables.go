@@ -72,6 +72,18 @@ type LoadDeleter interface {
 	LoadAndDelete(k uint64) (uint64, bool)
 }
 
+// CompareAndDeleter is implemented by handles whose delete can be
+// conditioned on the current value atomically (the tombstoning
+// CAS/transaction compares the value word it clears). The typed facade's
+// CompareAndDelete — and the cache layer's expiry/eviction races built
+// on it — require it: a find-then-delete emulation could remove a value
+// the comparison never saw.
+type CompareAndDeleter interface {
+	// CompareAndDelete removes k iff its current value equals want.
+	// Returns true iff this call removed the element.
+	CompareAndDelete(k, want uint64) bool
+}
+
 // Sizer is implemented by tables supporting the approximate size
 // operation of §5.2.
 type Sizer interface {

@@ -73,6 +73,7 @@ type backendHandle[K comparable, V any] interface {
 	del(k K) bool
 	loadAndDelete(k K) (V, bool)
 	compareAndSwap(k K, old, new V) bool
+	compareAndDelete(k K, old V) bool
 }
 
 // New builds a typed concurrent hash table. The default is the paper's
@@ -172,6 +173,42 @@ func (h *Handle[K, V]) CompareAndSwap(k K, old, new V) bool {
 	return h.h.compareAndSwap(k, old, new)
 }
 
+// CompareAndDelete removes k iff its value is currently old (sync.Map
+// parity). Returns false when k is absent or holds a different value.
+// Like CompareAndSwap, values are compared with ==, so old must be of a
+// comparable dynamic type or CompareAndDelete panics. The comparison and
+// the removal are one atomic step: the element removed is exactly the
+// one whose value compared equal, even against concurrent overwrites —
+// the primitive behind the cache layer's expiry and eviction races.
+func (h *Handle[K, V]) CompareAndDelete(k K, old V) bool {
+	// Documented uncomparable-value panic, fired before any backend work
+	// (see CompareAndSwap for why validating old is sufficient).
+	_ = any(old) == any(old)
+	return h.h.compareAndDelete(k, old)
+}
+
+// cadViaWords implements compareAndDelete over a word backend: find the
+// current word, refuse if it does not decode to old, then delete exactly
+// that word with the core's conditional tombstoning CAS. The successful
+// core CAS is the linearization point — at that instant the stored word
+// was the one observed to decode equal. A failed CAS (value changed
+// underneath) re-reads; arena references are never reused, so an equal
+// word always still decodes to the same value (no ABA).
+func cadViaWords[V any](vc *valCodec[V], old V, find func() (uint64, bool), cad func(w uint64) bool) bool {
+	for {
+		w, ok := find()
+		if !ok {
+			return false
+		}
+		if any(vc.dec(w)) != any(old) {
+			return false
+		}
+		if cad(w) {
+			return true
+		}
+	}
+}
+
 // casViaUpdate implements compareAndSwap over an Update-style word
 // backend (the word and string routes). The closure may run several
 // times under contention; the backend applies exactly its final
@@ -259,12 +296,12 @@ func (m *Map[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 
 // Compute inserts ⟨k,d⟩ if absent, else atomically replaces the value
 // with up(current, d); true iff an insert happened (handle-free
-// InsertOrUpdate).
+// InsertOrUpdate). The release is deferred: a panic in up must not
+// strand the pooled handle.
 func (m *Map[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
 	h := m.acquire()
-	ok := h.InsertOrUpdate(k, d, up)
-	m.release(h)
-	return ok
+	defer m.release(h)
+	return h.InsertOrUpdate(k, d, up)
 }
 
 // Delete removes k (handle-free); true iff k was present.
@@ -292,6 +329,25 @@ func (m *Map[K, V]) CompareAndSwap(k K, old, new V) bool {
 	h := m.acquire()
 	defer m.release(h)
 	return h.CompareAndSwap(k, old, new)
+}
+
+// CompareAndDelete removes k iff its value is currently old (handle-free;
+// sync.Map parity). Old values are compared with == and must be of a
+// comparable dynamic type, or CompareAndDelete panics.
+func (m *Map[K, V]) CompareAndDelete(k K, old V) bool {
+	h := m.acquire()
+	defer m.release(h)
+	return h.CompareAndDelete(k, old)
+}
+
+// Update atomically changes the value of k to up(current, d); returns
+// false if k is absent (handle-free Update — unlike Compute it never
+// inserts). The release is deferred: up is arbitrary caller code, and a
+// panic inside it must not strand the pooled handle.
+func (m *Map[K, V]) Update(k K, d V, up func(cur, d V) V) bool {
+	h := m.acquire()
+	defer m.release(h)
+	return h.Update(k, d, up)
 }
 
 // Number collects the types usable with Add.
@@ -420,6 +476,16 @@ func (h *wordHandle[K, V]) compareAndSwap(k K, old, new V) bool {
 	})
 }
 
+func (h *wordHandle[K, V]) compareAndDelete(k K, old V) bool {
+	kw := h.b.kenc(k)
+	// Every word core behind the full-key wrapper implements
+	// tables.CompareAndDeleter (conditional tombstoning CAS).
+	cd := h.h.(tables.CompareAndDeleter)
+	return cadViaWords(h.b.vc, old,
+		func() (uint64, bool) { return h.h.Find(kw) },
+		func(w uint64) bool { return cd.CompareAndDelete(kw, w) })
+}
+
 func (h *wordHandle[K, V]) loadAndDelete(k K) (V, bool) {
 	// The full-key wrapper behind every word route implements
 	// tables.LoadDeleter (its tombstoning CAS observes the value word it
@@ -511,6 +577,13 @@ func (h *stringHandle[K, V]) compareAndSwap(k K, old, new V) bool {
 	return casViaUpdate(h.b.vc, old, new, func(up func(cur, d uint64) uint64) bool {
 		return h.h.Update(asString(k), 0, up)
 	})
+}
+
+func (h *stringHandle[K, V]) compareAndDelete(k K, old V) bool {
+	s := asString(k)
+	return cadViaWords(h.b.vc, old,
+		func() (uint64, bool) { return h.h.Find(s) },
+		func(w uint64) bool { return h.h.CompareAndDelete(s, w) })
 }
 
 func (h *stringHandle[K, V]) loadAndDelete(k K) (V, bool) {
@@ -787,6 +860,25 @@ func (h *genericHandle[K, V]) compareAndSwap(k K, old, new V) bool {
 		}
 		nv := new
 		if e.val.CompareAndSwap(p, &nv) {
+			return true
+		}
+	}
+}
+
+// compareAndDelete CASes the entry's value pointer to nil iff the
+// current value compares equal: verdict and removal are one CAS.
+func (h *genericHandle[K, V]) compareAndDelete(k K, old V) bool {
+	e := h.findEntry(k)
+	if e == nil {
+		return false
+	}
+	for {
+		p := e.val.Load()
+		if p == nil || any(*p) != any(old) {
+			return false
+		}
+		if e.val.CompareAndSwap(p, nil) {
+			h.b.size.Add(-1)
 			return true
 		}
 	}
