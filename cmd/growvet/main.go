@@ -1,0 +1,30 @@
+// Command growvet is the repository's custom vet tool: four analyzers
+// that turn the cell protocol's state-machine invariants, the handle
+// pool's release discipline, the wire contract's exhaustiveness, and
+// the hot paths' zero-allocation budget into build-time errors.
+//
+// Run it through cmd/go, which feeds it one package at a time:
+//
+//	go build -o /tmp/growvet ./cmd/growvet
+//	go vet -vettool=/tmp/growvet ./...
+//
+// See docs/ANALYSIS.md for what each analyzer enforces and the
+// //growt: directives that drive them.
+package main
+
+import (
+	"repro/internal/analysis/atomiccell"
+	"repro/internal/analysis/handleleak"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/statusswitch"
+	"repro/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(
+		atomiccell.Analyzer,
+		handleleak.Analyzer,
+		statusswitch.Analyzer,
+		hotpathalloc.Analyzer,
+	)
+}

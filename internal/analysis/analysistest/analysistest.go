@@ -1,0 +1,299 @@
+// Package analysistest checks an analyzer against fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture
+// sources live under <dir>/src/<pkgpath>/ and annotate the lines where
+// diagnostics are expected with
+//
+//	//growt:atomic
+//	cells []uint64
+//	...
+//	t.cells[0] = 1 // want `tagged //growt:atomic`
+//
+// The string after `want` is a regular expression (quoted or
+// back-quoted; several may follow one want) that must match a
+// diagnostic reported on that line. The harness fails the test on any
+// unmatched expectation and on any unexpected diagnostic, so fixtures
+// pin both the positive findings and the negative space (allow-listed
+// code staying silent).
+//
+// Fixture imports resolve in two steps: a sibling fixture package under
+// the same testdata dir (type-checked recursively, its //growt:enum
+// groups fed to the pass as imported facts — exercising the vetx path),
+// otherwise the standard library via the source importer.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package and compares the
+// diagnostics against the // want annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		pkgpath := pkgpath
+		t.Run(pkgpath, func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, a, pkgpath)
+		})
+	}
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	enums []analysis.EnumGroup
+	err   error
+}
+
+// loader memoizes fixture packages so mutually-imported fixtures check
+// once, and threads std imports to the source importer.
+type loader struct {
+	dir   string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*loaded
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:   dir,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*loaded),
+	}
+}
+
+func (l *loader) load(pkgpath string) (*loaded, error) {
+	if p, ok := l.cache[pkgpath]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", pkgpath)
+		}
+		return p, p.err
+	}
+	l.cache[pkgpath] = nil // cycle marker
+	p := l.doLoad(pkgpath)
+	l.cache[pkgpath] = p
+	return p, p.err
+}
+
+func (l *loader) doLoad(pkgpath string) *loaded {
+	p := &loaded{fset: l.fset}
+	srcDir := filepath.Join(l.dir, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(srcDir, name), nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("no Go files in %s", srcDir)
+		return p
+	}
+	p.enums = analysis.EnumGroupsFromFiles(pkgpath, p.files)
+
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, err := os.Stat(filepath.Join(l.dir, "src", filepath.FromSlash(path))); err == nil {
+			dep, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return dep.pkg, nil
+		}
+		return l.std.Import(path)
+	})
+	p.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tc := &types.Config{Importer: imp}
+	p.pkg, p.err = tc.Check(pkgpath, l.fset, p.files, p.info)
+	return p
+}
+
+// importedEnums gathers the enum groups of every fixture package the
+// target imported — the same facts the unit driver would read from
+// dependency vetx files.
+func (l *loader) importedEnums(target string) []analysis.EnumGroup {
+	var all []analysis.EnumGroup
+	paths := make([]string, 0, len(l.cache))
+	for path := range l.cache {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if path == target || l.cache[path] == nil {
+			continue
+		}
+		all = append(all, l.cache[path].enums...)
+	}
+	return all
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	l := newLoader(dir)
+	p, err := l.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:      a,
+		Fset:          p.fset,
+		Files:         p.files,
+		Pkg:           p.pkg,
+		TypesInfo:     p.info,
+		ImportedEnums: l.importedEnums(pkgpath),
+		Report:        func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, p.fset, p.files)
+	matched := make([]bool, len(wants))
+	for _, d := range got {
+		pos := p.fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses every `// want "re" ...` comment. Expectations
+// attach to the line the comment starts on.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns reads the sequence of Go string literals after `want`.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		case '"':
+			rest := s[1:]
+			end := -1
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			unq, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+2], err)
+			}
+			lit = unq
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted or back-quoted, got %q", pos, s)
+		}
+		pats = append(pats, lit)
+		s = strings.TrimSpace(s)
+	}
+	return pats
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,232 @@
+// Package atomiccell enforces the split-word cell protocol's access
+// discipline statically (internal/core/cell.go, invariants 1–4): a
+// declaration tagged //growt:atomic holds words that concurrent
+// goroutines race on, so every read and write of it must go through
+// sync/atomic (or an atomic wrapper type). A plain load or store of a
+// tagged word anywhere outside an allow-listed //growt:exclusive
+// function is a protocol violation — the static form of the bug class
+// the Wing-Gong linearizability checker only catches when a schedule
+// happens to expose it.
+//
+// Allowed accesses of a tagged declaration:
+//
+//   - &x (possibly through indexing) passed directly to a sync/atomic
+//     function: atomic.LoadUint64(&t.cells[2*i])
+//   - a method call on an atomic wrapper (a type from sync/atomic or
+//     repro/internal/pad): c.ins.Add(1), ring[i].Store(p)
+//   - len(x) and cap(x): the slice header is written once at
+//     construction, only the elements race
+//   - x == nil / x != nil: same header-only read
+//   - anything inside a function whose doc carries //growt:exclusive,
+//     the annotation for construction and other single-owner phases
+//     (the paper's exclusive migration phases, §5.3.2)
+//
+// Everything else — plain index reads, assignments, range over the
+// slice, copying an atomic wrapper, taking the address for a non-atomic
+// callee — is reported.
+package atomiccell
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomiccell pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccell",
+	Doc: "enforce sync/atomic-only access to //growt:atomic declarations " +
+		"(the cell protocol's split-word invariants)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	tagged := taggedObjects(pass)
+	if len(tagged) == 0 {
+		return nil
+	}
+	parents := analysis.NewParents(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok {
+				if _, excl := analysis.FuncDirective(fd, "exclusive"); excl {
+					continue // single-owner phase: plain access allowed
+				}
+			}
+			checkDecl(pass, decl, tagged, parents)
+		}
+	}
+	return nil
+}
+
+// taggedObjects collects the types.Object of every //growt:atomic
+// struct field and package-level var in the package.
+func taggedObjects(pass *analysis.Pass) map[types.Object]bool {
+	tagged := make(map[types.Object]bool)
+	addField := func(field *ast.Field) {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				tagged[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if analysis.FieldDirective(field, "atomic") {
+						addField(field)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				_, onDecl := analysis.GenDeclDirective(n, "atomic")
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if onDecl || analysis.ValueSpecDirective(vs, "atomic") {
+						for _, name := range vs.Names {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								tagged[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tagged
+}
+
+// checkDecl reports every reference to a tagged object inside decl that
+// is not one of the allowed atomic access shapes.
+func checkDecl(pass *analysis.Pass, decl ast.Decl, tagged map[types.Object]bool, parents analysis.Parents) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		var obj types.Object
+		var refNode ast.Node
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				obj = sel.Obj()
+				refNode = n
+			} else if o := pass.TypesInfo.Uses[n.Sel]; o != nil {
+				obj = o
+				refNode = n
+			}
+		case *ast.Ident:
+			// Skip the Sel of a SelectorExpr (handled above) and
+			// definitions (struct tags, assignments handled via use side).
+			if p, ok := parents[n].(*ast.SelectorExpr); ok && p.Sel == n {
+				return true
+			}
+			obj = pass.TypesInfo.Uses[n]
+			refNode = n
+		default:
+			return true
+		}
+		if obj == nil || !tagged[obj] {
+			return true
+		}
+		if !allowedAccess(pass, refNode, parents) {
+			pass.Reportf(refNode.Pos(),
+				"%s is tagged //growt:atomic: access it through sync/atomic "+
+					"(or move this code into a //growt:exclusive function)", obj.Name())
+		}
+		return true
+	})
+}
+
+// allowedAccess classifies how the tagged reference at ref is used.
+func allowedAccess(pass *analysis.Pass, ref ast.Node, parents analysis.Parents) bool {
+	// Climb through indexing and parens: the "access expression" of
+	// t.cells is t.cells[2*i] in atomic.LoadUint64(&t.cells[2*i]).
+	access := ast.Expr(ref.(ast.Expr))
+climb:
+	for {
+		switch p := parents[access].(type) {
+		case *ast.ParenExpr:
+			access = p
+		case *ast.IndexExpr:
+			if p.X != access {
+				break climb // tagged word used as an index — a plain read
+			}
+			access = p
+		default:
+			break climb
+		}
+	}
+	switch p := parents[access].(type) {
+	case *ast.CallExpr:
+		// len(x) / cap(x).
+		if id, ok := p.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		// &x as a direct argument of a sync/atomic call.
+		if p.Op == token.AND {
+			if call, ok := parents[p].(*ast.CallExpr); ok && isAtomicCallee(pass, call) {
+				for _, arg := range call.Args {
+					if arg == ast.Expr(p) {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// x.Method(...) where Method belongs to an atomic wrapper type.
+		if p.X == access {
+			if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) {
+				if sel, ok := pass.TypesInfo.Selections[p]; ok && sel.Kind() == types.MethodVal {
+					if fn, ok := sel.Obj().(*types.Func); ok && isAtomicWrapperPkg(fn.Pkg()) {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		// x == nil / x != nil: reads only the once-written slice header.
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			other := p.X
+			if other == access {
+				other = p.Y
+			}
+			if tv, ok := pass.TypesInfo.Types[other]; ok && tv.IsNil() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isAtomicCallee reports whether call invokes a sync/atomic function.
+func isAtomicCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicWrapperPkg reports whether a method's defining package is an
+// atomic wrapper provider: sync/atomic itself (atomic.Uint64,
+// atomic.Pointer[T], ...) or the repository's cache-line-padded
+// equivalents in internal/pad.
+func isAtomicWrapperPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync/atomic" || strings.HasSuffix(pkg.Path(), "internal/pad")
+}

@@ -1,0 +1,12 @@
+package atomiccell_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomiccell"
+)
+
+func TestAtomicCell(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccell.Analyzer, "a")
+}

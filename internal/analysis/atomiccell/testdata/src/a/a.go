@@ -1,0 +1,77 @@
+// Package a is the atomiccell fixture: tagged cell words accessed
+// atomically (silent), plainly (reported), and from an exclusive phase
+// (silent).
+package a
+
+import "sync/atomic"
+
+type table struct {
+	//growt:atomic
+	cells []uint64
+	mask  uint64 // untagged: plain access is fine
+}
+
+type counters struct {
+	//growt:atomic
+	n atomic.Uint64
+}
+
+//growt:atomic
+var global []uint64
+
+func atomicOK(t *table, i int) uint64 {
+	if t.cells == nil {
+		return 0
+	}
+	_ = len(t.cells)
+	_ = cap(t.cells)
+	atomic.StoreUint64(&t.cells[2*i], t.mask)
+	atomic.CompareAndSwapUint64(&t.cells[2*i], 0, 1)
+	return atomic.LoadUint64(&t.cells[2*i+1])
+}
+
+func wrapperOK(c *counters) uint64 {
+	c.n.Add(1)
+	return c.n.Load()
+}
+
+func globalOK(i int) uint64 {
+	return atomic.LoadUint64(&global[i])
+}
+
+func plainRead(t *table, i int) uint64 {
+	return t.cells[i] // want `tagged //growt:atomic`
+}
+
+func plainWrite(t *table, i int) {
+	t.cells[i] = 42 // want `tagged //growt:atomic`
+}
+
+func rangeOver(t *table) uint64 {
+	var s uint64
+	for _, w := range t.cells { // want `tagged //growt:atomic`
+		s += w
+	}
+	return s
+}
+
+func aliasEscape(t *table) *[]uint64 {
+	return &t.cells // want `tagged //growt:atomic`
+}
+
+func copyWrapper(c *counters) atomic.Uint64 {
+	return c.n // want `tagged //growt:atomic`
+}
+
+func globalWrite(i int) {
+	global[i] = 1 // want `tagged //growt:atomic`
+}
+
+//growt:exclusive -- construction: no concurrent readers exist yet
+func newTable(n int) *table {
+	t := &table{cells: make([]uint64, 2*n)}
+	for i := range t.cells {
+		t.cells[i] = 0
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// This file parses the //growt: directive comments the analyzers key
+// off. A directive is a comment line of the form
+//
+//	//growt:<name>
+//	//growt:<name> <argument...>
+//	//growt:<name> -- <free-form reason>
+//
+// written with no space after // (the Go convention for tool
+// directives, which also makes go/doc omit them from rendered
+// documentation). Directives attach to the declaration whose doc or
+// trailing line comment carries them: a struct field, a var or const
+// declaration group, or a function declaration.
+
+const directivePrefix = "//growt:"
+
+// directiveIn scans a comment group for //growt:<name> and returns the
+// remainder of the line (the argument, trimmed) and whether it was
+// found. A `-- reason` suffix is part of the returned argument; callers
+// that take arguments split it off themselves.
+func directiveIn(g *ast.CommentGroup, name string) (arg string, ok bool) {
+	if g == nil {
+		return "", false
+	}
+	for _, c := range g.List {
+		rest, found := strings.CutPrefix(c.Text, directivePrefix+name)
+		if !found {
+			continue
+		}
+		if rest == "" {
+			return "", true
+		}
+		// Require a separator so growt:atomic does not match growt:atomicx.
+		if rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		arg = strings.TrimSpace(rest)
+		if reason := strings.Index(arg, "--"); reason >= 0 {
+			arg = strings.TrimSpace(arg[:reason])
+		}
+		return arg, true
+	}
+	return "", false
+}
+
+// FieldDirective reports whether a struct field carries the directive
+// (in its doc comment or its trailing line comment).
+func FieldDirective(f *ast.Field, name string) bool {
+	if _, ok := directiveIn(f.Doc, name); ok {
+		return true
+	}
+	_, ok := directiveIn(f.Comment, name)
+	return ok
+}
+
+// GenDeclDirective returns the argument of the directive on a var or
+// const declaration group's doc comment.
+func GenDeclDirective(d *ast.GenDecl, name string) (string, bool) {
+	return directiveIn(d.Doc, name)
+}
+
+// FuncDirective returns the argument of the directive on a function
+// declaration's doc comment.
+func FuncDirective(fd *ast.FuncDecl, name string) (string, bool) {
+	return directiveIn(fd.Doc, name)
+}
+
+// ValueSpecDirective reports whether one spec inside a var/const group
+// carries the directive on its own doc or line comment.
+func ValueSpecDirective(s *ast.ValueSpec, name string) bool {
+	if _, ok := directiveIn(s.Doc, name); ok {
+		return true
+	}
+	_, ok := directiveIn(s.Comment, name)
+	return ok
+}
+
+// EnumGroupsFromFiles extracts every //growt:enum const group declared
+// in the files. The group's members are all named constants of the
+// tagged declaration block, in declaration order. This is used both by
+// statusswitch (same-package groups) and by the unit driver (exporting
+// groups to the package's vetx facts for importers).
+func EnumGroupsFromFiles(pkgPath string, files []*ast.File) []EnumGroup {
+	var groups []EnumGroup
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			gname, ok := GenDeclDirective(gd, "enum")
+			if !ok || gname == "" {
+				continue
+			}
+			g := EnumGroup{PkgPath: pkgPath, Name: gname}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if id.Name != "_" {
+						g.Members = append(g.Members, id.Name)
+					}
+				}
+			}
+			if len(g.Members) > 0 {
+				groups = append(groups, g)
+			}
+		}
+	}
+	return groups
+}

@@ -1,0 +1,235 @@
+// Package handleleak enforces the pooled-resource discipline around
+// functions tagged //growt:acquires <release>: the value such a
+// function returns must be captured into a variable and released by a
+// defer in the very next statement, so the release dominates every
+// exit path — including panics raised by user callbacks (hashers,
+// Compute closures). This is the static form of the handle-strand bug
+// PR 5 fixed by hand: a panicking closure between acquire() and a
+// trailing release() permanently shrinks the handle pool.
+//
+// Accepted shape:
+//
+//	h := m.acquire()
+//	defer m.release(h)            // or: defer func() { ...; m.release(h); ... }()
+//
+// Reported shapes:
+//
+//	h := m.acquire(); work(); m.release(h)   // release does not dominate panic paths
+//	m.acquire()                              // result discarded
+//	return m.acquire()                       // ownership escapes unchecked
+//	h := m.acquire()
+//	if ok { defer m.release(h) }             // defer is not the next statement
+package handleleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the handleleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "handleleak",
+	Doc: "require every //growt:acquires call to be followed immediately by " +
+		"a dominating defer of its release function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	acquirers := taggedAcquirers(pass)
+	if len(acquirers) == 0 {
+		return nil
+	}
+	parents := analysis.NewParents(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The release function itself (and any //growt:exclusive
+			// teardown) may juggle handles freely.
+			if _, excl := analysis.FuncDirective(fd, "exclusive"); excl {
+				continue
+			}
+			checkFunc(pass, fd, acquirers, parents)
+		}
+	}
+	return nil
+}
+
+// taggedAcquirers maps each //growt:acquires-tagged function or method
+// object in this package to the name of its release function.
+func taggedAcquirers(pass *analysis.Pass) map[types.Object]string {
+	m := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			release, ok := analysis.FuncDirective(fd, "acquires")
+			if !ok {
+				continue
+			}
+			release = strings.TrimSpace(release)
+			if release == "" {
+				pass.Reportf(fd.Pos(), "//growt:acquires needs the release function name: //growt:acquires release")
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				m[obj] = release
+			}
+		}
+	}
+	return m
+}
+
+// checkFunc walks one function body looking for calls to tagged
+// acquirers and validates the capture+defer shape around each.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[types.Object]string, parents analysis.Parents) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(pass, call)
+		if obj == nil {
+			return true
+		}
+		release, tagged := acquirers[obj]
+		if !tagged {
+			return true
+		}
+		// The acquirer's own body is exempt when recursing is the
+		// implementation (not the case today, but cheap to allow).
+		if pass.TypesInfo.Defs[fd.Name] == obj {
+			return true
+		}
+		checkAcquireSite(pass, call, release, parents)
+		return true
+	})
+}
+
+// checkAcquireSite validates one acquire call: it must be the sole RHS
+// of a single-variable assignment whose next statement defers the
+// release of that variable.
+func checkAcquireSite(pass *analysis.Pass, call *ast.CallExpr, release string, parents analysis.Parents) {
+	report := func(format string, args ...any) {
+		pass.Reportf(call.Pos(), format, args...)
+	}
+
+	assign, ok := parents[call].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != ast.Expr(call) || len(assign.Lhs) != 1 {
+		report("result of //growt:acquires call must be captured as `h := ...` " +
+			"and released by a defer in the next statement")
+		return
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		report("result of //growt:acquires call is discarded; the %s call can never run", release)
+		return
+	}
+	handleObj := pass.TypesInfo.Defs[lhs]
+	if handleObj == nil {
+		handleObj = pass.TypesInfo.Uses[lhs] // plain `=` to an existing var
+	}
+
+	list, idx := stmtContext(assign, parents)
+	if list == nil || idx < 0 || idx+1 >= len(list) {
+		report("//growt:acquires call must be followed by `defer ... %s(%s)`", release, lhs.Name)
+		return
+	}
+	next, ok := list[idx+1].(*ast.DeferStmt)
+	if !ok || !defersRelease(pass, next.Call, release, handleObj) {
+		report("statement after //growt:acquires call must be `defer ... %s(%s)` "+
+			"so the release dominates panic paths", release, lhs.Name)
+	}
+}
+
+// stmtContext locates the statement list containing stmt and its index
+// within it.
+func stmtContext(stmt ast.Stmt, parents analysis.Parents) ([]ast.Stmt, int) {
+	var list []ast.Stmt
+	switch p := parents[stmt].(type) {
+	case *ast.BlockStmt:
+		list = p.List
+	case *ast.CaseClause:
+		list = p.Body
+	case *ast.CommClause:
+		list = p.Body
+	default:
+		return nil, -1
+	}
+	for i, s := range list {
+		if s == stmt {
+			return list, i
+		}
+	}
+	return nil, -1
+}
+
+// defersRelease reports whether the deferred call releases handleObj
+// via a function named release — either directly (defer m.release(h))
+// or inside a deferred closure that calls release(h) somewhere.
+func defersRelease(pass *analysis.Pass, call *ast.CallExpr, release string, handleObj types.Object) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if ok && isReleaseCall(pass, inner, release, handleObj) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return isReleaseCall(pass, call, release, handleObj)
+}
+
+// isReleaseCall reports whether call is <recv>.release(h) or release(h)
+// with h denoting handleObj.
+func isReleaseCall(pass *analysis.Pass, call *ast.CallExpr, release string, handleObj types.Object) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if name != release {
+		return false
+	}
+	if handleObj == nil {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == handleObj {
+			return true
+		}
+	}
+	// A method on the handle itself: defer h.Release().
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == handleObj {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the object a call invokes, for plain functions
+// and methods.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

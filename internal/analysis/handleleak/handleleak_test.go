@@ -1,0 +1,12 @@
+package handleleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/handleleak"
+)
+
+func TestHandleLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", handleleak.Analyzer, "a")
+}

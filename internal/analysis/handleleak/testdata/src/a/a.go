@@ -1,0 +1,69 @@
+// Package a is the handleleak fixture: the capture+defer shape around
+// a //growt:acquires-tagged pool getter, with every leak shape the
+// analyzer names — including the panic-path leak that motivated it.
+package a
+
+type pool struct{ ch chan int }
+
+//growt:acquires release
+func (p *pool) acquire() int { return <-p.ch }
+
+func (p *pool) release(h int) { p.ch <- h }
+
+var sink int
+
+func good(p *pool) int {
+	h := p.acquire()
+	defer p.release(h)
+	return h + 1
+}
+
+func goodClosure(p *pool, f func(int)) {
+	h := p.acquire()
+	defer func() {
+		f(h)
+		p.release(h)
+	}()
+	f(h)
+}
+
+func panicPathLeak(p *pool, f func()) {
+	h := p.acquire() // want `statement after`
+	f()              // a panic here strands h: release never runs
+	p.release(h)
+}
+
+func discarded(p *pool) {
+	p.acquire() // want `captured as`
+}
+
+func blank(p *pool) {
+	_ = p.acquire() // want `is discarded`
+}
+
+func escapes(p *pool) int {
+	return p.acquire() // want `captured as`
+}
+
+func tail(p *pool) {
+	sink = p.acquire() // want `must be followed by`
+}
+
+func deferLate(p *pool, ok bool) {
+	h := p.acquire() // want `statement after`
+	if ok {
+		defer p.release(h)
+	}
+}
+
+func wrongHandle(p *pool, g int) {
+	h := p.acquire() // want `statement after`
+	defer p.release(g)
+	sink = h
+}
+
+//growt:exclusive -- teardown drains the pool single-threaded
+func drain(p *pool) {
+	h := p.acquire()
+	p.release(h)
+}

@@ -1,0 +1,375 @@
+// Package hotpathalloc keeps functions tagged //growt:hotpath free of
+// allocating constructs. The paper's throughput hinges on probe loops
+// and the service's coalescing writer doing zero heap work per
+// operation; a stray closure capture or interface conversion inserted
+// during a refactor costs more than it looks like (an allocation plus
+// GC pressure on every table operation) and no test fails. The
+// analyzer flags, inside tagged functions:
+//
+//   - closures that capture outer variables (escape to heap);
+//     capture-free func literals are static and stay allowed
+//   - any call into package fmt (formatting allocates; growd's hot
+//     loops pre-render errors outside the tagged region)
+//   - implicit or explicit conversions of non-pointer-shaped concrete
+//     values to interface types (boxing allocates; pointers, channels,
+//     maps and funcs are pointer-shaped and convert without allocating)
+//   - append to a slice that was not locally made with an explicit
+//     capacity (make([]T, n, c) or make([]T, n)) — growth reallocates
+//
+// Arguments of panic(...) are exempt throughout: the cold path may
+// format as expensively as it likes, and the repository's hot loops
+// guard impossible states with panic(fmt.Sprintf(...)).
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid allocating constructs (capturing closures, fmt, interface " +
+		"boxing, unhinted append) in //growt:hotpath functions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := analysis.FuncDirective(fd, "hotpath"); !hot {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one tagged function, skipping panic() arguments.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var sig *types.Signature
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(pass, n) {
+				return false // cold path: arguments may allocate freely
+			}
+			checkCall(pass, fd, n)
+		case *ast.FuncLit:
+			if caps := captures(pass, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(),
+					"closure in //growt:hotpath function captures %s and escapes to the heap "+
+						"(hoist the state or pass it as a parameter)", joinNames(caps))
+				return false
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, sig, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags fmt calls, unhinted appends, explicit conversions to
+// interface types, and implicit interface boxing at argument positions.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// Explicit conversion: T(x) where T is an interface type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			reportBoxing(pass, call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				checkAppend(pass, fd, call)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(),
+				"call to fmt.%s in //growt:hotpath function allocates "+
+					"(pre-render outside the hot path)", fn.Name())
+			return
+		}
+	}
+
+	// Implicit boxing: concrete argument passed to an interface param.
+	sig, ok := callSignature(pass, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... forwards the slice, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		reportBoxing(pass, arg, pt, "argument")
+	}
+}
+
+// callSignature resolves the signature a call invokes (nil, false for
+// builtins and conversions).
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil, false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	return sig, ok
+}
+
+// checkAppend requires the appended-to slice to be a local variable
+// initialized from a make with an explicit size or capacity, so the
+// append provably stays within the pre-sized backing array in steady
+// state.
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := ast.Unparen(call.Args[0])
+	if sl, ok := base.(*ast.SliceExpr); ok {
+		base = ast.Unparen(sl.X) // append(buf[:0], ...) reuses buf's array
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		pass.Reportf(call.Pos(),
+			"append in //growt:hotpath function without a capacity-hinted destination")
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || !madeWithCapacity(pass, fd, obj) {
+		pass.Reportf(call.Pos(),
+			"append to %s in //growt:hotpath function: destination is not locally "+
+				"made with a capacity hint (make([]T, n, c)), so growth reallocates", id.Name)
+	}
+}
+
+// madeWithCapacity reports whether obj is assigned a make([]T, ...)
+// with an explicit length/capacity anywhere in fd, or is a parameter
+// (the caller owns the sizing decision).
+func madeWithCapacity(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	if v, ok := obj.(*types.Var); ok {
+		// Parameters and receivers: sizing is the caller's contract.
+		if fd.Type.Params != nil && tupleContains(pass, fd.Type.Params, v) {
+			return true
+		}
+		if fd.Recv != nil && tupleContains(pass, fd.Recv, v) {
+			return true
+		}
+		// Struct fields reached via a local selector are handled by the
+		// Ident check in checkAppend (base is a SelectorExpr there).
+	}
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					continue
+				}
+				lobj := pass.TypesInfo.Defs[lid]
+				if lobj == nil {
+					lobj = pass.TypesInfo.Uses[lid]
+				}
+				if lobj != obj {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else {
+					continue
+				}
+				if isHintedMake(pass, rhs) {
+					found = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, lid := range n.Names {
+				if pass.TypesInfo.Defs[lid] != obj || i >= len(n.Values) {
+					continue
+				}
+				if isHintedMake(pass, n.Values[i]) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// tupleContains reports whether a field list declares v.
+func tupleContains(pass *analysis.Pass, fields *ast.FieldList, v *types.Var) bool {
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			if pass.TypesInfo.Defs[name] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isHintedMake matches make([]T, n) and make([]T, n, c).
+func isHintedMake(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
+}
+
+// checkAssign flags concrete-to-interface assignments.
+func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return // multi-value form; the callee's return types govern
+	}
+	for i, rhs := range n.Rhs {
+		var target types.Type
+		if tv, ok := pass.TypesInfo.Types[n.Lhs[i]]; ok {
+			target = tv.Type // selector/index/deref LHS
+		} else if id, ok := n.Lhs[i].(*ast.Ident); ok {
+			// Plain identifiers live in Uses (x = v assigns an existing
+			// var) or Defs (x := v defines x with v's own type — no
+			// conversion, skip).
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				target = obj.Type()
+			}
+		}
+		reportBoxing(pass, rhs, target, "assignment")
+	}
+}
+
+// checkReturn flags concrete values returned as interface results.
+func checkReturn(pass *analysis.Pass, sig *types.Signature, n *ast.ReturnStmt) {
+	if sig == nil || len(n.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range n.Results {
+		reportBoxing(pass, res, sig.Results().At(i).Type(), "return")
+	}
+}
+
+// reportBoxing reports expr if placing it into target boxes a
+// non-pointer-shaped concrete value into an interface.
+func reportBoxing(pass *analysis.Pass, expr ast.Expr, target types.Type, context string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) {
+		return // interface-to-interface carries the existing box
+	}
+	if pointerShaped(src) {
+		return // pointer-shaped values fit in the iface word directly
+	}
+	pass.Reportf(expr.Pos(),
+		"%s converts %s to interface %s in //growt:hotpath function: boxing allocates",
+		context, types.TypeString(src, types.RelativeTo(pass.Pkg)),
+		types.TypeString(target, types.RelativeTo(pass.Pkg)))
+}
+
+// pointerShaped reports whether values of t occupy exactly one pointer
+// word, so interface conversion needs no allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// captures lists the outer local variables a func literal closes over.
+func captures(pass *analysis.Pass, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	pkgScope := pass.Pkg.Scope()
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() != pass.Pkg {
+			return true
+		}
+		if v.Parent() == pkgScope || v.Parent() == nil {
+			return true // package-level vars are not captured
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (params included)
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	return names
+}
+
+// isPanic reports whether call is the builtin panic.
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package a is the hotpathalloc fixture: each allocating construct in
+// a //growt:hotpath function (capturing closure, fmt, interface
+// boxing, unhinted append), its allowed counterpart, and the
+// panic-argument exemption.
+package a
+
+import "fmt"
+
+type big struct{ a, b, c uint64 }
+
+func sink(v any)        { _ = v }
+func sinks(vs ...any)   { _ = vs }
+func take(f func() int) { _ = f }
+
+//growt:hotpath
+func capturing(n int) {
+	take(func() int { return n }) // want `captures n`
+}
+
+//growt:hotpath
+func staticClosure() {
+	take(func() int { return 42 }) // capture-free: static, allowed
+}
+
+//growt:hotpath
+func useFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf`
+}
+
+//growt:hotpath
+func boxReturn(x int) any {
+	return x // want `boxing allocates`
+}
+
+//growt:hotpath
+func boxArg(x uint64) {
+	sink(x) // want `boxing allocates`
+}
+
+//growt:hotpath
+func boxVariadic(b big) {
+	sinks(b) // want `boxing allocates`
+}
+
+//growt:hotpath
+func boxAssign(x int) any {
+	var v any
+	v = x // want `boxing allocates`
+	return v
+}
+
+//growt:hotpath
+func pointerOK(b *big) any {
+	return b // pointer-shaped: fits the iface word, allowed
+}
+
+//growt:hotpath
+func nilOK() any {
+	return nil // no box, allowed
+}
+
+//growt:hotpath
+func panicExempt(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("impossible state %d", x)) // cold path: exempt
+	}
+	return x
+}
+
+//growt:hotpath
+func hintedAppend(n int) []byte {
+	buf := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i))
+	}
+	return buf
+}
+
+//growt:hotpath
+func reuseAppend(buf []byte, frame []byte) []byte {
+	return append(buf[:0], frame...) // param destination: caller sizes it, allowed
+}
+
+//growt:hotpath
+func unhintedAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `capacity hint`
+	}
+	return out
+}
+
+func coldPath(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // untagged function: analyzer stays away
+	}
+	out = append(out, len(fmt.Sprint(n)))
+	return out
+}

@@ -1,0 +1,133 @@
+// Package statusswitch makes switches over //growt:enum constant
+// groups exhaustive. The repository has two such vocabularies whose
+// silent partial handling has bitten before: the core per-operation
+// status enum (statusInserted … statusMismatch in internal/core), where
+// a handler that misses a status spins the retry loop forever, and the
+// wire opcode/status bytes in internal/server/wire.go, where growd and
+// its client must agree on every code — the next opcode added to the
+// server cannot be allowed to fall through on the client side.
+//
+// A switch participates when any of its case expressions names a member
+// of a tagged group (same package or imported; imported groups travel
+// as vetx facts under `go vet`). A participating switch must either
+// list every member of the group or carry a default clause that makes
+// the fallback explicit.
+package statusswitch
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the statusswitch pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statusswitch",
+	Doc: "require switches over //growt:enum groups (core statuses, wire " +
+		"opcodes) to cover every member or declare a default",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	groups := analysis.EnumGroupsFromFiles(pass.Pkg.Path(), pass.Files)
+	groups = append(groups, pass.ImportedEnums...)
+	if len(groups) == 0 {
+		return nil
+	}
+	// memberOf: qualified constant name -> index into groups.
+	memberOf := make(map[string]int)
+	for i, g := range groups {
+		for _, m := range g.Members {
+			memberOf[g.PkgPath+"."+m] = i
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, sw, groups, memberOf)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch validates one switch statement against every enum group
+// its cases touch.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, groups []analysis.EnumGroup, memberOf map[string]int) {
+	hasDefault := false
+	// covered[groupIdx] = set of member names this switch handles.
+	covered := make(map[int]map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			obj := constObject(pass, expr)
+			if obj == nil || obj.Pkg() == nil {
+				continue
+			}
+			gi, ok := memberOf[obj.Pkg().Path()+"."+obj.Name()]
+			if !ok {
+				continue
+			}
+			if covered[gi] == nil {
+				covered[gi] = make(map[string]bool)
+			}
+			covered[gi][obj.Name()] = true
+		}
+	}
+	if hasDefault || len(covered) == 0 {
+		return // explicit fallback, or not an enum switch
+	}
+	for gi, seen := range covered {
+		g := groups[gi]
+		var missing []string
+		for _, m := range g.Members {
+			if !seen[m] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(sw.Pos(),
+				"switch over //growt:enum %s is not exhaustive: missing %s "+
+					"(add the cases or an explicit default)",
+				g.Name, joinNames(missing))
+		}
+	}
+}
+
+// constObject resolves a case expression to the constant object it
+// names, if any.
+func constObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if c, ok := pass.TypesInfo.Uses[e].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.TypesInfo.Uses[e.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

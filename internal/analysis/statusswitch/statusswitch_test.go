@@ -1,0 +1,12 @@
+package statusswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statusswitch"
+)
+
+func TestStatusSwitch(t *testing.T) {
+	analysistest.Run(t, "testdata", statusswitch.Analyzer, "a", "b")
+}

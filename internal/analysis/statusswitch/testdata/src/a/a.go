@@ -1,0 +1,67 @@
+// Package a is the statusswitch fixture: a typed status enum and a
+// byte-typed opcode group (the wire.go shape), switched exhaustively,
+// with a default, and with gaps.
+package a
+
+type Status int
+
+//growt:enum status
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusErr
+)
+
+//growt:enum opcode
+const (
+	OpGet byte = 0x01
+	OpSet byte = 0x02
+	OpDel byte = 0x03
+)
+
+func Exhaustive(s Status) int {
+	switch s {
+	case StatusOK:
+		return 0
+	case StatusNotFound:
+		return 1
+	case StatusErr:
+		return 2
+	}
+	return -1
+}
+
+func WithDefault(s Status) int {
+	switch s {
+	case StatusOK:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func Missing(s Status) int {
+	switch s { // want `missing StatusErr`
+	case StatusOK, StatusNotFound:
+		return 0
+	}
+	return -1
+}
+
+func OpMissing(op byte) bool {
+	switch op { // want `missing OpDel`
+	case OpGet:
+		return true
+	case OpSet:
+		return true
+	}
+	return false
+}
+
+func Unrelated(x int) int {
+	switch x { // not an enum switch: silent
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,24 @@
+// Package b is the cross-package statusswitch fixture: it switches
+// over package a's //growt:enum group, which reaches the analyzer as
+// an imported fact — the same route the unit driver's vetx files take
+// between growd and its client.
+package b
+
+import "a"
+
+func Remote(s a.Status) int {
+	switch s { // want `missing StatusNotFound, StatusErr`
+	case a.StatusOK:
+		return 0
+	}
+	return -1
+}
+
+func RemoteDefault(s a.Status) int {
+	switch s {
+	case a.StatusOK:
+		return 0
+	default:
+		return -1
+	}
+}

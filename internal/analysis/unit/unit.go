@@ -1,0 +1,305 @@
+// Package unit is the driver that lets the repository's analyzers run
+// under `go vet -vettool=`. It speaks the three-part protocol cmd/go
+// requires of a vet tool:
+//
+//	growvet -V=full     describe the executable for build caching
+//	growvet -flags      describe the tool's flags as JSON
+//	growvet foo.cfg     analyze the single package described by the
+//	                    JSON config file cmd/go prepared
+//
+// This is a standard-library reimplementation of the x/tools
+// unitchecker (which is itself stdlib underneath: the package is
+// re-type-checked with go/types, resolving imports through the export
+// data files cmd/go lists in the config). Diagnostics print to stderr
+// as file:line:col: message and exit with status 2, which `go vet`
+// surfaces per package.
+//
+// Facts: the one cross-package fact this suite uses is the set of
+// //growt:enum const groups a package declares (statusswitch needs the
+// groups of imported packages). Each run writes its package's groups to
+// the vetx output file cmd/go designates, and reads its dependencies'
+// groups from the vetx files cmd/go forwards. Fact extraction needs
+// only a parse, so fact-only runs (VetxOnly) skip type checking
+// entirely, and standard-library packages (which declare no growt
+// directives) write empty facts without even parsing.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON schema of the file cmd/go passes to a vet tool —
+// the fields this driver consumes, by their cmd/go names (unknown
+// fields are ignored by encoding/json).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// facts is the vetx payload: the enum groups a package exports.
+type facts struct {
+	Schema int                  `json:"schema"`
+	Enums  []analysis.EnumGroup `json:"enums,omitempty"`
+}
+
+const factsSchema = 1
+
+// Main runs the analyzers under the vet protocol. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "growvet"
+	if len(os.Args) > 0 {
+		progname = os.Args[0]
+	}
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			os.Exit(0)
+		case "-flags", "--flags":
+			// No tool-level flags: every analyzer always runs.
+			fmt.Println("[]")
+			os.Exit(0)
+		case "-h", "-help", "--help", "help":
+			fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...\n\nAnalyzers:\n", progname)
+			for _, a := range analyzers {
+				fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+			}
+			os.Exit(0)
+		}
+	}
+	if len(os.Args) != 2 || !strings.HasSuffix(os.Args[1], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: must be run by 'go vet -vettool=%s' (got args %q)\n",
+			progname, progname, os.Args[1:])
+		os.Exit(1)
+	}
+	diags, err := run(os.Args[1], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printVersion implements the -V=full half of cmd/go's build caching:
+// the output must change whenever the tool's behavior could, so it
+// embeds a content hash of the executable itself (the same scheme
+// x/tools' unitchecker uses).
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// run analyzes the single package described by cfgFile and returns the
+// rendered diagnostics.
+func run(cfgFile string, analyzers []*analysis.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// Standard-library packages carry no growt directives: empty facts,
+	// no work. (This keeps `go vet ./...`, which fact-walks the whole
+	// dependency graph, cheap.)
+	if cfg.Standard[cfg.ImportPath] {
+		return nil, writeFacts(cfg.VetxOutput, nil)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, writeFacts(cfg.VetxOutput, nil)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	groups := analysis.EnumGroupsFromFiles(cfg.ImportPath, files)
+	if err := writeFacts(cfg.VetxOutput, groups); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	pkg, info, err := typecheck(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	imported, err := readDepFacts(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []string
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:      a,
+			Fset:          fset,
+			Files:         files,
+			Pkg:           pkg,
+			TypesInfo:     info,
+			ImportedEnums: imported,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// goVersionRE matches the GoVersion forms go/types accepts.
+var goVersionRE = regexp.MustCompile(`^go1\.[0-9]+$`)
+
+// typecheck re-type-checks the package, resolving imports through the
+// export data files cmd/go listed in the config.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path has already been resolved through ImportMap.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if goVersionRE.MatchString(goVersionPrefix(cfg.GoVersion)) {
+		tc.GoVersion = goVersionPrefix(cfg.GoVersion)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// goVersionPrefix trims a patch release ("go1.22.3" → "go1.22").
+func goVersionPrefix(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// writeFacts writes the package's vetx output. cmd/go treats the file
+// as a build output and hashes it, so the encoding is deterministic
+// (groups sorted by name).
+func writeFacts(path string, groups []analysis.EnumGroup) error {
+	if path == "" {
+		return nil
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Name < groups[j].Name })
+	data, err := json.Marshal(facts{Schema: factsSchema, Enums: groups})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// readDepFacts loads the enum groups of every dependency whose vetx
+// file cmd/go forwarded.
+func readDepFacts(cfg *Config) ([]analysis.EnumGroup, error) {
+	var all []analysis.EnumGroup
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			// A missing or unreadable dep vetx only costs cross-package
+			// enum groups; the analyzers still run.
+			continue
+		}
+		var f facts
+		if err := json.Unmarshal(data, &f); err != nil || f.Schema != factsSchema {
+			continue
+		}
+		all = append(all, f.Enums...)
+	}
+	return all, nil
+}

@@ -24,6 +24,7 @@ type Folly struct {
 }
 
 type follySub struct {
+	//growt:atomic
 	cells []uint64 // interleaved key/value; key==follyTomb ⇒ deleted
 	mask  uint64
 	shift uint
@@ -40,6 +41,7 @@ const (
 	follyFillDen = 5
 )
 
+//growt:exclusive -- construction: the subtable is unpublished
 func newFollySub(capacity uint64) *follySub {
 	if capacity < 64 {
 		capacity = 64

@@ -25,6 +25,7 @@ type JunctionLinear struct {
 }
 
 type jlTable struct {
+	//growt:atomic
 	cells []uint64
 	mask  uint64
 	shift uint
@@ -36,6 +37,7 @@ const (
 	jlPending = ^uint64(0) // in-flight key marker
 )
 
+//growt:exclusive -- construction: the table is unpublished
 func newJLTable(capacity uint64) *jlTable {
 	c := uint64(64)
 	for c < capacity {

@@ -21,6 +21,7 @@ import (
 // no writer runs in a find phase); deletes coordinate among themselves
 // with striped segment locks while they rearrange clusters.
 type Phase struct {
+	//growt:atomic
 	cells []uint64 // interleaved key/value
 	segs  []phSeg
 	mask  uint64
@@ -39,6 +40,8 @@ const (
 )
 
 // NewPhase builds a bounded table with capacity ≥ 2·expected.
+//
+//growt:exclusive -- construction: the table is unpublished
 func NewPhase(expected uint64) *Phase {
 	capacity := uint64(phSegCells)
 	for capacity < 2*expected {

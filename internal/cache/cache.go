@@ -111,6 +111,7 @@ type Cache[K comparable, V any] struct {
 	// written keys that evictOne samples uniformly. Slots hold *K so
 	// concurrent record/sample stay race-free; stale slots (keys since
 	// removed) are skipped at sampling time. nil when unbounded.
+	//growt:atomic
 	ring     []atomic.Pointer[K]
 	ringMask uint64
 	ringPos  atomic.Uint64
@@ -132,6 +133,8 @@ func New[K comparable, V any](opts ...growt.Option) *Cache[K, V] {
 }
 
 // newCache is New with an injectable clock (deterministic expiry tests).
+//
+//growt:exclusive -- construction: the cache is unpublished
 func newCache[K comparable, V any](now func() int64, opts ...growt.Option) *Cache[K, V] {
 	c := &Cache[K, V]{
 		m:   growt.New[K, *item[V]](opts...),

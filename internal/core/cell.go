@@ -98,9 +98,12 @@ const (
 	MaxValue = valueMask
 )
 
-// opStatus is the outcome of a low-level cell operation.
+// opStatus is the outcome of a low-level cell operation. Handlers
+// switch over it; growvet's statusswitch analyzer keeps those switches
+// exhaustive so a new status cannot silently fall through a retry loop.
 type opStatus uint8
 
+//growt:enum opstatus
 const (
 	statusInserted opStatus = iota // new element written
 	statusUpdated                  // existing element changed
@@ -121,6 +124,10 @@ const longProbeLimit = 4096
 // growing variants chain generations through migrations; the Folklore
 // wrapper uses a single generation forever.
 type Table struct {
+	// cells holds the split-word cell array concurrent goroutines race
+	// on; every access must go through the atomic accessors below
+	// (growvet: atomiccell).
+	//growt:atomic
 	cells    []uint64 // interleaved: cells[2i] key word, cells[2i+1] value word
 	capacity uint64
 	shift    uint // index = hash >> shift (scaled mapping, §5.3.1)
@@ -144,6 +151,8 @@ type Table struct {
 // NewTable allocates a zeroed generation with capacity rounded up to a
 // power of two (§7 restricts capacities to powers of two so the modulo
 // becomes a shift).
+//
+//growt:exclusive -- construction: the table is unpublished, no concurrent readers
 func NewTable(capacity uint64) *Table {
 	if capacity < 8 {
 		capacity = 8
@@ -192,6 +201,8 @@ func (t *Table) addVal(i, d uint64) uint64 { return atomic.AddUint64(&t.cells[2*
 // waitKey spins until the cell's key word is no longer pending and
 // returns it. The pending window is two store instructions wide; Gosched
 // keeps the spin polite if the claiming goroutine was preempted.
+//
+//growt:hotpath
 func (t *Table) waitKey(i uint64) uint64 {
 	for spins := 0; ; spins++ {
 		kw := t.loadKey(i)
@@ -219,6 +230,8 @@ func checkValue(v uint64) {
 }
 
 // insertCore attempts to insert ⟨k,d⟩. Precondition: checkKey/checkValue.
+//
+//growt:hotpath
 func (t *Table) insertCore(k, d uint64) opStatus {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
@@ -295,6 +308,8 @@ func (t *Table) recheckKey(i, k uint64) {
 }
 
 // updateCore applies up to the element with key k.
+//
+//growt:hotpath
 func (t *Table) updateCore(k, d uint64, up func(cur, d uint64) uint64) opStatus {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
@@ -330,6 +345,8 @@ func (t *Table) updateCore(k, d uint64, up func(cur, d uint64) uint64) opStatus 
 }
 
 // insertOrUpdateCore implements Algorithm 1 of the paper.
+//
+//growt:hotpath
 func (t *Table) insertOrUpdateCore(k, d uint64, up func(cur, d uint64) uint64) opStatus {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
@@ -401,6 +418,8 @@ func (t *Table) insertOrUpdateCore(k, d uint64, up func(cur, d uint64) uint64) o
 // insertOrUpdateCore instead. The addVal result is asserted below so any
 // future violation of this contract fails loudly rather than losing the
 // update.
+//
+//growt:hotpath
 func (t *Table) insertOrAddCore(k, d uint64) opStatus {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
@@ -489,6 +508,8 @@ func (t *Table) insertOrAddCore(k, d uint64) opStatus {
 
 // findCore looks up k. Wait-free: never spins, never writes. Marked cells
 // remain readable during migration (§5.3.2).
+//
+//growt:hotpath
 func (t *Table) findCore(k uint64) (uint64, bool) {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
@@ -519,6 +540,8 @@ func (t *Table) findCore(k uint64) (uint64, bool) {
 // first return is the value the winning CAS removed — the tombstoning
 // CAS is the linearization point, so the value is exact, which is what
 // backs the facade's LoadAndDelete.
+//
+//growt:hotpath
 func (t *Table) deleteCore(k uint64) (uint64, opStatus) {
 	h := hashfn.Hash64(k)
 	i := t.index(h)
@@ -557,6 +580,8 @@ func (t *Table) deleteCore(k uint64) (uint64, opStatus) {
 // statusUpdated the removed value was exactly want at the instant of
 // removal. statusMismatch reports a live element holding a different
 // value (nothing written).
+//
+//growt:hotpath
 func (t *Table) compareAndDeleteCore(k, want uint64) opStatus {
 	h := hashfn.Hash64(k)
 	i := t.index(h)

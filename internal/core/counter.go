@@ -11,7 +11,9 @@ import (
 // flushSpan, the paper's trick to provably de-contend the global word).
 // The estimate I−D undercounts by at most O(p·flushSpan) = O(p²).
 type counters struct {
+	//growt:atomic
 	ins pad.Uint64 // I: global insertions (= nonempty cells incl. tombstones)
+	//growt:atomic
 	del pad.Uint64 // D: global deletions
 }
 

@@ -424,6 +424,9 @@ func (h *growHandle) Insert(k, d uint64) bool {
 			h.exit(false)
 			h.g.initiate(t)
 			h.g.assist()
+		default:
+			h.exit(false)
+			panic("core: insert returned a status outside its contract")
 		}
 	}
 }
@@ -445,6 +448,9 @@ func (h *growHandle) Update(k, d uint64, up tables.UpdateFn) bool {
 		case statusMarked:
 			h.exit(false)
 			h.g.assist()
+		default:
+			h.exit(false)
+			panic("core: update returned a status outside its contract")
 		}
 	}
 }
@@ -471,6 +477,9 @@ func (h *growHandle) InsertOrUpdate(k, d uint64, up tables.UpdateFn) bool {
 			h.exit(false)
 			h.g.initiate(t)
 			h.g.assist()
+		default:
+			h.exit(false)
+			panic("core: upsert returned a status outside its contract")
 		}
 	}
 }
@@ -511,6 +520,9 @@ func (h *growHandle) InsertOrAdd(k, d uint64) bool {
 			h.exit(false)
 			h.g.initiate(t)
 			h.g.assist()
+		default:
+			h.exit(false)
+			panic("core: insert-or-add returned a status outside its contract")
 		}
 	}
 }
@@ -561,6 +573,9 @@ func (h *growHandle) CompareAndDelete(k, want uint64) bool {
 		case statusMarked:
 			h.exit(false)
 			h.g.assist()
+		default:
+			h.exit(false)
+			panic("core: compare-and-delete returned a status outside its contract")
 		}
 	}
 }
@@ -586,6 +601,9 @@ func (h *growHandle) LoadAndDelete(k uint64) (uint64, bool) {
 		case statusMarked:
 			h.exit(false)
 			h.g.assist()
+		default:
+			h.exit(false)
+			panic("core: delete returned a status outside its contract")
 		}
 	}
 }

@@ -29,6 +29,8 @@ import (
 // insertTSX is the transactional version of insertCore. Never uses the
 // pending bit: publication order (value before key) inside the stripe
 // plus the wait-free readers' torn-read semantics make it unnecessary.
+//
+//growt:hotpath
 func (t *Table) insertTSX(r *htm.TxRegion, k, d uint64) opStatus {
 	h := hashIndex(t, k)
 	i := h
@@ -75,6 +77,8 @@ func (t *Table) insertTSX(r *htm.TxRegion, k, d uint64) opStatus {
 }
 
 // updateTSX is the transactional update.
+//
+//growt:hotpath
 func (t *Table) updateTSX(r *htm.TxRegion, k, d uint64, up func(cur, d uint64) uint64) opStatus {
 	i := hashIndex(t, k)
 	mask := t.capacity - 1
@@ -107,6 +111,8 @@ func (t *Table) updateTSX(r *htm.TxRegion, k, d uint64, up func(cur, d uint64) u
 }
 
 // insertOrUpdateTSX is the transactional Algorithm 1.
+//
+//growt:hotpath
 func (t *Table) insertOrUpdateTSX(r *htm.TxRegion, k, d uint64, up func(cur, d uint64) uint64) opStatus {
 	i := hashIndex(t, k)
 	mask := t.capacity - 1
@@ -154,6 +160,8 @@ func (t *Table) insertOrUpdateTSX(r *htm.TxRegion, k, d uint64, up func(cur, d u
 // deleteTSX is the transactional tombstoning delete. Like deleteCore it
 // returns the removed value on statusUpdated (the transaction is the
 // linearization point, so the value is exact).
+//
+//growt:hotpath
 func (t *Table) deleteTSX(r *htm.TxRegion, k uint64) (uint64, opStatus) {
 	i := hashIndex(t, k)
 	mask := t.capacity - 1
@@ -188,6 +196,8 @@ func (t *Table) deleteTSX(r *htm.TxRegion, k uint64) (uint64, opStatus) {
 // compareAndDeleteTSX is the transactional conditional delete: it
 // tombstones k iff the value read inside the transaction equals want, so
 // the verdict and the removal are one atomic step.
+//
+//growt:hotpath
 func (t *Table) compareAndDeleteTSX(r *htm.TxRegion, k, want uint64) opStatus {
 	i := hashIndex(t, k)
 	mask := t.capacity - 1

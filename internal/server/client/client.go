@@ -488,8 +488,16 @@ func (c *conn) roundTrip(kind byte, reqBody []byte) Resp {
 	return <-ch
 }
 
+// failWrite tears the connection down after a write error. Kept out of
+// writeLoop so the hot loop stays free of fmt.
+func (c *conn) failWrite(err error) {
+	c.close(fmt.Errorf("%w: write: %w", ErrClosed, err))
+}
+
 // writeLoop batches queued frames into one buffered write + flush per
 // burst — the client half of the pipeline's syscall amortization.
+//
+//growt:hotpath
 func (c *conn) writeLoop() {
 	buf := make([]byte, 0, 64<<10)
 	for {
@@ -514,7 +522,7 @@ func (c *conn) writeLoop() {
 			}
 		}
 		if _, err := c.c.Write(buf); err != nil {
-			c.close(fmt.Errorf("%w: write: %w", ErrClosed, err))
+			c.failWrite(err)
 			return
 		}
 	}
@@ -563,6 +571,9 @@ func decode(status byte, respBody []byte) Resp {
 		r.Val = respBody
 	case server.StatusErr:
 		r.Val = respBody
+	case server.StatusNotFound, server.StatusMismatch:
+		// No body: the status alone is the answer. Listed explicitly so
+		// statusswitch proves the client handles every wire status.
 	}
 	return r
 }

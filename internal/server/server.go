@@ -243,6 +243,8 @@ func (s *Server) session(conn net.Conn) {
 // writeLoop drains out into a buffered writer, flushing only when the
 // queue is momentarily empty — the write-coalescing half of the
 // pipelining story. Closes conn and done on exit.
+//
+//growt:hotpath
 func (s *Server) writeLoop(conn net.Conn, out <-chan []byte, done chan<- struct{}) {
 	defer close(done)
 	defer conn.Close()

@@ -27,7 +27,12 @@ import (
 // DefaultAddr is the address growd listens on when none is given.
 const DefaultAddr = ":7420"
 
-// Request opcodes.
+// Request opcodes. The group is a //growt:enum: growvet's statusswitch
+// analyzer requires every switch over opcodes — server dispatch and
+// client alike — to handle all of them or declare an explicit default,
+// so adding an opcode here cannot silently fall through on one side.
+//
+//growt:enum opcode
 const (
 	OpPing byte = 0x01 // liveness probe ("healthz"); empty body
 	OpGet  byte = 0x02 // key -> value
@@ -49,7 +54,10 @@ const (
 // deadline (stored without a TTL on a server with no default TTL).
 const TTLImmortal = ^uint64(0)
 
-// Response statuses.
+// Response statuses. A //growt:enum like the opcodes: switches over
+// response statuses must be exhaustive or carry a default.
+//
+//growt:enum wirestatus
 const (
 	StatusOK       byte = 0x00
 	StatusNotFound byte = 0x01 // GET/DEL/CAS: key absent

@@ -80,6 +80,7 @@ func (a *arena) get(ref uint64) string {
 
 // Map is a bounded concurrent string-keyed hash map.
 type Map struct {
+	//growt:atomic
 	cells    []uint64 // interleaved key/value words
 	capacity uint64
 	shift    uint
@@ -88,6 +89,8 @@ type Map struct {
 }
 
 // New builds a map with capacity ≥ 2·expected (the paper's sizing rule).
+//
+//growt:exclusive -- construction: the map is unpublished
 func New(expected uint64) *Map {
 	capacity := 2 * expected
 	if capacity < 8 {

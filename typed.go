@@ -245,6 +245,13 @@ func casViaUpdate[V any](vc *valCodec[V], old, new V, update func(func(cur, d ui
 // beyond that, acquire blocks until one is released. The hard cap
 // matters because core handles register per-handle state with the table
 // (busy flags, size counters) that has no deregistration path.
+//
+// Callers must pair the acquire with an immediately deferred release so
+// user code running under the handle (hashers, update closures) cannot
+// strand it by panicking; growvet's handleleak analyzer enforces the
+// shape.
+//
+//growt:acquires release
 func (m *Map[K, V]) acquire() *Handle[K, V] {
 	select {
 	case h := <-m.handles:
@@ -264,19 +271,22 @@ func (m *Map[K, V]) release(h *Handle[K, V]) {
 	m.handles <- h
 }
 
-// Load returns the value stored at k (handle-free).
+// Load returns the value stored at k (handle-free). The release is
+// deferred: a panic in a custom hasher must not strand the pooled
+// handle.
 func (m *Map[K, V]) Load(k K) (V, bool) {
 	h := m.acquire()
-	v, ok := h.Find(k)
-	m.release(h)
-	return v, ok
+	defer m.release(h)
+	return h.Find(k)
 }
 
 // Store sets the value for k, inserting or overwriting (handle-free).
+// The release is deferred: a panic in a custom hasher must not strand
+// the pooled handle.
 func (m *Map[K, V]) Store(k K, v V) {
 	h := m.acquire()
+	defer m.release(h)
 	h.InsertOrUpdate(k, v, Replace[V])
-	m.release(h)
 }
 
 // LoadOrStore returns the existing value for k if present; otherwise it
@@ -304,12 +314,13 @@ func (m *Map[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
 	return h.InsertOrUpdate(k, d, up)
 }
 
-// Delete removes k (handle-free); true iff k was present.
+// Delete removes k (handle-free); true iff k was present. The release
+// is deferred: a panic in a custom hasher must not strand the pooled
+// handle.
 func (m *Map[K, V]) Delete(k K) bool {
 	h := m.acquire()
-	ok := h.Delete(k)
-	m.release(h)
-	return ok
+	defer m.release(h)
+	return h.Delete(k)
 }
 
 // LoadAndDelete removes k and returns the value it held (handle-free;
