@@ -1,7 +1,8 @@
-// Command growvet is the repository's custom vet tool: four analyzers
+// Command growvet is the repository's custom vet tool: six analyzers
 // that turn the cell protocol's state-machine invariants, the handle
-// pool's release discipline, the wire contract's exhaustiveness, and
-// the hot paths' zero-allocation budget into build-time errors.
+// pool's release discipline, the CAS retry loops' re-read obligation,
+// the wire contract's dispatch/encode/decode pairing, and the hot
+// paths' zero-allocation budget into build-time errors.
 //
 // Run it through cmd/go, which feeds it one package at a time:
 //
@@ -14,17 +15,21 @@ package main
 
 import (
 	"repro/internal/analysis/atomiccell"
+	"repro/internal/analysis/cellreread"
 	"repro/internal/analysis/handleleak"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/statusswitch"
 	"repro/internal/analysis/unit"
+	"repro/internal/analysis/wirepair"
 )
 
 func main() {
 	unit.Main(
 		atomiccell.Analyzer,
+		cellreread.Analyzer,
 		handleleak.Analyzer,
 		statusswitch.Analyzer,
 		hotpathalloc.Analyzer,
+		wirepair.Analyzer,
 	)
 }

@@ -1,0 +1,464 @@
+// Package cellreread makes stale-read spin loops a build error. The
+// cell protocol's CAS retry loops are only live (in the lock-free
+// sense) when each iteration re-reads the word it is about to CAS: a
+// loop that keeps retrying with the expected value it loaded before
+// the loop can never succeed once the word has moved on, and a loop
+// that keeps switching on a status computed before the loop retries a
+// decision that can never change — the bug class behind PR 2's
+// lost-op races.
+//
+// Two flow-sensitive rules, built on internal/analysis/flow:
+//
+// Rule A (stale CAS expected value). For a compare-and-swap call
+// inside a loop — a casVal/casKey method or any CompareAndSwap*
+// function, whose expected argument is the second-to-last — at least
+// one definition of the expected-value variable that reaches the call
+// must be inside the loop's per-iteration region (body or post
+// statement). When every reaching definition is outside the loop, the
+// retry spins on a stale read:
+//
+//	v := t.loadVal(i)
+//	for {
+//	    if t.casVal(i, v, nv) { return }   // error: v never re-loaded
+//	}
+//
+// Literal expected values (casKey(i, 0, ...)) and variables the pass
+// cannot track (captured from an enclosing function) are skipped.
+//
+// Rule B (stale status switch). A switch inside a loop whose tag is a
+// saved //growt:enum value (no call in the tag expression) and whose
+// cases name group members must not be able to run a second time
+// without the looping path either redefining a tag variable or calling
+// one of the cell re-read primitives (recheckKey, waitKey, loadVal,
+// loadKey). Switching on a status a call recomputes each iteration
+// (`switch t.doOp(k)`) is fine; replaying a saved one is a spin:
+//
+//	s := t.status(i)
+//	for {
+//	    switch s {                         // error: s never recomputed
+//	    case statusRetry:
+//	        continue
+//	    }
+//	}
+//
+// Enum groups resolve exactly as in statusswitch: same-package
+// //growt:enum declarations plus imported groups carried as vetx
+// facts.
+package cellreread
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+// Analyzer is the cellreread pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cellreread",
+	Doc: "require CAS retry loops to re-read the cell word (or recompute " +
+		"the //growt:enum status) each iteration",
+	Run: run,
+}
+
+// rereadNames are the cell re-read primitives that break rule B's
+// staleness: a looping path that calls one of these has refreshed its
+// view of the cell.
+var rereadNames = map[string]bool{
+	"recheckKey": true,
+	"waitKey":    true,
+	"loadVal":    true,
+	"loadKey":    true,
+}
+
+// funcFlow caches the per-function-body flow artifacts.
+type funcFlow struct {
+	graph *flow.Graph
+	reach *flow.ReachingDefs
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	parents  analysis.Parents
+	memberOf map[string]string // qualified const name -> group name
+	flows    map[*ast.BlockStmt]*funcFlow
+}
+
+func run(pass *analysis.Pass) error {
+	groups := analysis.EnumGroupsFromFiles(pass.Pkg.Path(), pass.Files)
+	groups = append(groups, pass.ImportedEnums...)
+	memberOf := make(map[string]string)
+	for _, g := range groups {
+		for _, m := range g.Members {
+			memberOf[g.PkgPath+"."+m] = g.Name
+		}
+	}
+	c := &checker{
+		pass:     pass,
+		parents:  analysis.NewParents(pass.Files),
+		memberOf: memberOf,
+		flows:    make(map[*ast.BlockStmt]*funcFlow),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					c.checkCAS(n)
+				case *ast.SwitchStmt:
+					c.checkStatusSwitch(n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// flowFor builds (or returns the cached) graph and reaching-defs for
+// the innermost function body containing n, along with that body.
+func (c *checker) flowFor(n ast.Node) (*funcFlow, *ast.BlockStmt) {
+	var body *ast.BlockStmt
+	var entry []*ast.Ident
+	for p := n; p != nil; p = c.parents[p] {
+		switch fn := p.(type) {
+		case *ast.FuncLit:
+			body = fn.Body
+			entry = fieldIdents(fn.Type.Params)
+		case *ast.FuncDecl:
+			body = fn.Body
+			entry = fieldIdents(fn.Recv)
+			entry = append(entry, fieldIdents(fn.Type.Params)...)
+			entry = append(entry, fieldIdents(fn.Type.Results)...)
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return nil, nil
+	}
+	ff := c.flows[body]
+	if ff == nil {
+		g := flow.New(body)
+		ff = &funcFlow{graph: g, reach: flow.Reaching(g, c.pass.TypesInfo, entry)}
+		c.flows[body] = ff
+	}
+	return ff, body
+}
+
+func fieldIdents(fl *ast.FieldList) []*ast.Ident {
+	if fl == nil {
+		return nil
+	}
+	var out []*ast.Ident
+	for _, f := range fl.List {
+		out = append(out, f.Names...)
+	}
+	return out
+}
+
+// enclosingLoop returns the innermost for/range statement containing n
+// on a per-iteration path (a position in the loop's init statement does
+// not count), without crossing a function-literal boundary.
+func (c *checker) enclosingLoop(n ast.Node) ast.Stmt {
+	child := n
+	for p := c.parents[n]; p != nil; p = c.parents[p] {
+		switch l := p.(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil
+		case *ast.ForStmt:
+			if child != ast.Node(l.Init) {
+				return l
+			}
+		case *ast.RangeStmt:
+			return l
+		}
+		child = p
+	}
+	return nil
+}
+
+// perIteration reports whether node d executes on every iteration of
+// loop: it sits in the loop body or post statement, or is the range
+// statement itself (whose Key/Value assignment is per-iteration).
+func perIteration(loop ast.Stmt, d ast.Node) bool {
+	within := func(outer ast.Node) bool {
+		return outer != nil && d.Pos() >= outer.Pos() && d.End() <= outer.End()
+	}
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		if within(l.Body) {
+			return true
+		}
+		if l.Post != nil && within(l.Post) {
+			return true
+		}
+	case *ast.RangeStmt:
+		if d == ast.Node(l) {
+			return true
+		}
+		return within(l.Body)
+	}
+	return false
+}
+
+// placedNode climbs from n to the node the CFG builder placed in a
+// block (the enclosing statement or control expression).
+func placedNode(g *flow.Graph, parents analysis.Parents, n ast.Node) ast.Node {
+	for p := n; p != nil; p = parents[p] {
+		if g.BlockOf(p) != nil {
+			return p
+		}
+		if _, isLit := p.(*ast.FuncLit); isLit {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Rule A: stale CAS expected value.
+
+// checkCAS validates one compare-and-swap call site.
+func (c *checker) checkCAS(call *ast.CallExpr) {
+	name, ok := casCalleeName(call)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	loop := c.enclosingLoop(call)
+	if loop == nil {
+		return
+	}
+	// The expected value is the second-to-last argument in every CAS
+	// shape: casVal(i, old, new), CompareAndSwapUint64(&x, old, new),
+	// v.CompareAndSwap(old, new).
+	expected, ok := ast.Unparen(call.Args[len(call.Args)-2]).(*ast.Ident)
+	if !ok {
+		return // literal or computed expected value: not a saved read
+	}
+	obj, ok := c.pass.TypesInfo.Uses[expected].(*types.Var)
+	if !ok {
+		return
+	}
+	ff, _ := c.flowFor(call)
+	if ff == nil {
+		return
+	}
+	site := placedNode(ff.graph, c.parents, call)
+	if site == nil {
+		return
+	}
+	defs := ff.reach.DefsAt(site, obj)
+	if defs == nil {
+		return // untracked variable (e.g. captured): unknown, stay quiet
+	}
+	for _, d := range defs {
+		if perIteration(loop, d.Node) {
+			return
+		}
+	}
+	c.pass.Reportf(call.Pos(),
+		"stale CAS retry: every definition of expected value %s reaching this %s "+
+			"call is outside the enclosing loop, so a failed CAS retries with the "+
+			"same stale value forever; re-load the cell word each iteration",
+		expected.Name, name)
+}
+
+// casCalleeName reports whether call invokes a compare-and-swap —
+// a casVal/casKey method or any CompareAndSwap* function — and
+// returns the callee name.
+func casCalleeName(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	if name == "casVal" || name == "casKey" || strings.HasPrefix(name, "CompareAndSwap") {
+		return name, true
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------
+// Rule B: stale status switch.
+
+// checkStatusSwitch validates one switch over a saved enum status.
+func (c *checker) checkStatusSwitch(sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	group := c.enumGroupOf(sw)
+	if group == "" {
+		return
+	}
+	// A tag containing a call recomputes the status every time the
+	// switch runs; only a saved value can go stale.
+	if containsCall(sw.Tag) {
+		return
+	}
+	tagObjs := c.tagVars(sw.Tag)
+	if len(tagObjs) == 0 {
+		return
+	}
+	if c.enclosingLoop(sw) == nil {
+		return
+	}
+	ff, _ := c.flowFor(sw)
+	if ff == nil {
+		return
+	}
+	g := ff.graph
+	b := g.BlockOf(sw.Tag)
+	if b == nil {
+		return
+	}
+	idx := g.NodeIndex(sw.Tag)
+	refreshed := func(n ast.Node) bool {
+		return callsRereadPrimitive(n) || definesAny(c.pass.TypesInfo, n, tagObjs)
+	}
+	if g.ReachesAvoiding(b, idx, sw.Tag, refreshed) {
+		c.pass.Reportf(sw.Pos(),
+			"stale //growt:enum %s switch: the loop can re-run this switch without "+
+				"redefining its tag or calling recheckKey/waitKey/loadVal/loadKey, so "+
+				"the retry path replays the same saved status; recompute it each iteration",
+			group)
+	}
+}
+
+// enumGroupOf returns the name of the enum group the switch's cases
+// belong to, or "" when no case names a tracked member.
+func (c *checker) enumGroupOf(sw *ast.SwitchStmt) string {
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			obj := constObject(c.pass, expr)
+			if obj == nil || obj.Pkg() == nil {
+				continue
+			}
+			if g, ok := c.memberOf[obj.Pkg().Path()+"."+obj.Name()]; ok {
+				return g
+			}
+		}
+	}
+	return ""
+}
+
+// tagVars collects the local variables the tag expression reads.
+func (c *checker) tagVars(tag ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(tag, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsCall reports whether e contains any call expression.
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRereadPrimitive reports whether block node n calls one of the
+// cell re-read primitives, without descending into function literals.
+func callsRereadPrimitive(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if rereadNames[name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// definesAny reports whether block node n (re)defines one of objs,
+// mirroring the definition sites flow's reaching-defs pass recognizes.
+func definesAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	hit := func(id *ast.Ident) bool {
+		if obj := info.Defs[id]; obj != nil && objs[obj] {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && objs[obj] {
+			return true
+		}
+		return false
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && hit(id) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok && hit(id) {
+			return true
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok && hit(id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// constObject resolves a case expression to the constant it names.
+func constObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if c, ok := pass.TypesInfo.Uses[e].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.TypesInfo.Uses[e.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}

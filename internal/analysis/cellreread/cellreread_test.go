@@ -1,0 +1,12 @@
+package cellreread_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cellreread"
+)
+
+func TestCellReread(t *testing.T) {
+	analysistest.Run(t, "testdata", cellreread.Analyzer, "a")
+}

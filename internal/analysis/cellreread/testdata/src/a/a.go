@@ -1,0 +1,180 @@
+// Package a is the cellreread fixture: CAS retry loops and enum-status
+// switches that do and do not refresh their view of the cell between
+// iterations.
+package a
+
+import "sync/atomic"
+
+type opStatus uint8
+
+//growt:enum opstatus
+const (
+	statusOK opStatus = iota
+	statusRetry
+	statusMarked
+)
+
+type table struct{ cells []uint64 }
+
+func (t *table) loadVal(i uint64) uint64 { return atomic.LoadUint64(&t.cells[i]) }
+func (t *table) casVal(i, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.cells[i], old, new)
+}
+func (t *table) recheckKey(i, k uint64) {}
+func (t *table) status(i uint64) opStatus {
+	return opStatus(t.loadVal(i) & 3)
+}
+
+var sink uint64
+
+// ---------------------------------------------------------------------
+// Rule A: CAS expected values.
+
+// Re-loaded at the top of every iteration: fine.
+func goodReload(t *table, i, nv uint64) {
+	for {
+		v := t.loadVal(i)
+		if t.casVal(i, v, nv) {
+			return
+		}
+	}
+}
+
+// Loaded before the loop but re-loaded on the retry path: fine — one
+// reaching definition is per-iteration.
+func goodReloadTail(t *table, i, nv uint64) {
+	v := t.loadVal(i)
+	for {
+		if t.casVal(i, v, nv) {
+			return
+		}
+		v = t.loadVal(i)
+	}
+}
+
+// Literal expected value (a claim CAS): nothing to go stale.
+func goodLiteral(t *table, i uint64) {
+	for !t.casVal(i, 0, 1) {
+	}
+}
+
+// CAS outside any loop: a single failed attempt is a valid protocol.
+func goodOneShot(t *table, i, nv uint64) bool {
+	v := t.loadVal(i)
+	return t.casVal(i, v, nv)
+}
+
+// The classic stale spin: v is loaded once, the loop can never succeed
+// after the word moves on.
+func staleSpin(t *table, i, nv uint64) {
+	v := t.loadVal(i)
+	for {
+		if t.casVal(i, v, nv) { // want `stale CAS retry`
+			return
+		}
+	}
+}
+
+// Same bug through a package-level atomic.
+func staleAtomic(p *uint64, nv uint64) {
+	old := atomic.LoadUint64(p)
+	for !atomic.CompareAndSwapUint64(p, old, nv) { // want `stale CAS retry`
+	}
+}
+
+// The inner loop spins on a value only the outer loop refreshes.
+func staleInner(t *table, i, nv uint64) {
+	for {
+		v := t.loadVal(i)
+		for j := 0; j < 8; j++ {
+			if t.casVal(i, v, nv) { // want `stale CAS retry`
+				return
+			}
+		}
+		sink = v
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rule B: enum-status switches.
+
+// The status is recomputed at the top of every iteration: fine.
+func goodStatusLoop(t *table, i uint64) {
+	for {
+		s := t.status(i)
+		switch s {
+		case statusRetry:
+			continue
+		case statusMarked, statusOK:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// Switching directly on a call: the tag re-executes, nothing is saved.
+func goodStatusCallTag(t *table, i uint64) {
+	for {
+		switch t.status(i) {
+		case statusRetry:
+			continue
+		default:
+			return
+		}
+	}
+}
+
+// The retry arm re-validates the cell before looping: accepted via the
+// re-read primitives escape hatch.
+func goodStatusRecheck(t *table, i, k uint64) {
+	s := t.status(i)
+	for {
+		switch s {
+		case statusRetry:
+			t.recheckKey(i, k)
+			continue
+		default:
+			return
+		}
+	}
+}
+
+// A saved status replayed forever: the retry arm can reach the switch
+// again with nothing refreshed.
+func staleStatusLoop(t *table, i uint64) {
+	s := t.status(i)
+	for {
+		switch s { // want `stale //growt:enum opstatus switch`
+		case statusRetry:
+			continue
+		default:
+			return
+		}
+	}
+}
+
+// The looping arm is implicit (falls to the loop's back edge), not a
+// continue: still caught.
+func staleStatusFallthrough(t *table, i uint64) {
+	s := t.status(i)
+	done := false
+	for !done {
+		switch s { // want `stale //growt:enum opstatus switch`
+		case statusOK:
+			done = true
+		case statusRetry:
+			sink++
+		}
+	}
+}
+
+// Not in a loop: a single dispatch cannot spin.
+func goodStatusOnce(t *table, i uint64) {
+	s := t.status(i)
+	switch s {
+	case statusRetry:
+		sink++
+	default:
+	}
+}

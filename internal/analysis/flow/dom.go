@@ -1,0 +1,124 @@
+package flow
+
+// Dominance and post-dominance, computed with the Cooper–Harvey–Kennedy
+// iterative algorithm over a reverse-postorder numbering — simple,
+// and plenty fast at function-body scale.
+//
+// Dominance is rooted at Entry over forward edges: a dominates b when
+// every path Entry→b passes through a. Post-dominance is the same
+// computation on the reversed graph rooted at Exit: a post-dominates b
+// when every path b→Exit passes through a. Blocks that cannot reach
+// Exit (infinite loops) have no post-dominators; PostDominates reports
+// false for them, and likewise Dominates for blocks unreachable from
+// Entry. Both relations are reflexive.
+
+// domTree is one dominator tree (forward or reverse).
+type domTree struct {
+	idom  map[*Block]*Block // immediate dominator; root maps to itself
+	order map[*Block]int    // reverse-postorder number
+}
+
+// Dominates reports whether a dominates b (every path from Entry to b
+// passes through a). Reflexive; false when either block is unreachable.
+func (g *Graph) Dominates(a, b *Block) bool {
+	if g.dom == nil {
+		g.dom = buildDomTree(g.Entry, succs, preds)
+	}
+	return g.dom.covers(a, b)
+}
+
+// PostDominates reports whether a post-dominates b (every path from b
+// to Exit passes through a). Reflexive; false when either block cannot
+// reach Exit.
+func (g *Graph) PostDominates(a, b *Block) bool {
+	if g.postdom == nil {
+		g.postdom = buildDomTree(g.Exit, preds, succs)
+	}
+	return g.postdom.covers(a, b)
+}
+
+// covers reports whether a is on b's dominator chain.
+func (t *domTree) covers(a, b *Block) bool {
+	if _, ok := t.order[a]; !ok {
+		return false
+	}
+	if _, ok := t.order[b]; !ok {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		next := t.idom[b]
+		if next == b {
+			return false // reached the root
+		}
+		b = next
+	}
+}
+
+func succs(b *Block) []*Block { return b.Succs }
+func preds(b *Block) []*Block { return b.Preds }
+
+// buildDomTree computes the dominator tree rooted at root, following
+// fwd edges (bwd gives the predecessors in that orientation). Passing
+// (Exit, preds, succs) yields the post-dominator tree.
+func buildDomTree(root *Block, fwd, bwd func(*Block) []*Block) *domTree {
+	// Reverse postorder over the subgraph reachable from root.
+	var po []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range fwd(b) {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		po = append(po, b)
+	}
+	dfs(root)
+
+	order := make(map[*Block]int, len(po))
+	rpo := make([]*Block, len(po))
+	for i := range po {
+		b := po[len(po)-1-i]
+		rpo[i] = b
+		order[b] = i
+	}
+
+	idom := make(map[*Block]*Block, len(po))
+	idom[root] = root
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var ni *Block
+			for _, p := range bwd(b) {
+				if idom[p] == nil {
+					continue // not reachable in this orientation, or not yet processed
+				}
+				if ni == nil {
+					ni = p
+				} else {
+					ni = intersect(ni, p)
+				}
+			}
+			if ni != nil && idom[b] != ni {
+				idom[b] = ni
+				changed = true
+			}
+		}
+	}
+	return &domTree{idom: idom, order: order}
+}

@@ -1,0 +1,477 @@
+// Package flow builds control-flow graphs over go/ast function bodies
+// and answers the flow questions the repository's analyzers need:
+// dominance and post-dominance (dom.go), reaching definitions for local
+// variables (reach.go), and guarded path reachability (search.go).
+//
+// Like the rest of internal/analysis it is dependency-free — pure
+// go/ast + go/token — because the build container has no module proxy
+// and x/tools (whose go/cfg package plays this role upstream) cannot be
+// vendored.
+//
+// # Graph shape
+//
+// A Graph is a set of basic blocks: maximal straight-line runs of AST
+// nodes connected by control edges. Block nodes are statements plus the
+// control expressions that decide branches (an if/for condition, a
+// switch tag, a range operand), in execution order. Two virtual blocks
+// frame the body: Entry (where parameters are considered defined) and
+// Exit, which models every way out of the function — returns, falling
+// off the end, and calls to the panic builtin all edge to Exit.
+//
+// Edges cover if/else, for (cond/post/backedge), range, switch and
+// type switch (implicit break, fallthrough, missing-default
+// fallthrough), select, labeled break/continue, and goto. A `panic(x)`
+// statement ends its block with an edge to Exit — the "panic edge" —
+// so Exit-reachability questions see panics as exits. Other calls are
+// not treated as potential panic sites; analyzers that care about
+// panic-path cleanup (handleleak) demand defer-based release instead
+// of reasoning about which calls can throw.
+//
+// Defer statements are ordinary block nodes: a DeferStmt node marks
+// where the defer is *armed*, and the deferred call itself runs at
+// Exit. Analyzers model that explicitly (e.g. a deferred release
+// covers every exit path that passes through its DeferStmt, but does
+// not release anything on a loop's back edge).
+//
+// Blocks unreachable from Entry (dead code after return/panic) are
+// kept in the graph but excluded from dominance and search results.
+package flow
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Entry is 0).
+	Index int
+	// Nodes are the block's statements and control expressions in
+	// execution order.
+	Nodes []ast.Node
+	// Succs and Preds are the control edges.
+	Succs, Preds []*Block
+	// reachable is true when the block is reachable from Entry.
+	reachable bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+
+	blockOf map[ast.Node]*Block
+	indexOf map[ast.Node]int
+
+	dom, postdom *domTree // built lazily
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		blockOf: make(map[ast.Node]*Block),
+		indexOf: make(map[ast.Node]int),
+	}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit) // falling off the end returns
+	for _, pg := range b.gotos {
+		if t := b.labels[pg.label]; t != nil {
+			b.edge(pg.from, t)
+		}
+	}
+	g.markReachable()
+	return g
+}
+
+// Reachable reports whether b is reachable from Entry.
+func (g *Graph) Reachable(b *Block) bool { return b.reachable }
+
+// BlockOf returns the block holding n, which must be a node the
+// builder placed (a statement or control expression); nil otherwise.
+func (g *Graph) BlockOf(n ast.Node) *Block { return g.blockOf[n] }
+
+// NodeIndex returns n's position within its block (see BlockOf).
+func (g *Graph) NodeIndex(n ast.Node) int { return g.indexOf[n] }
+
+// Enclosing climbs the parent chain from n (typically an expression
+// nested inside a statement) until it finds a node placed in a block,
+// and returns that block and the node's index within it. parents is a
+// child-to-parent index over the same files (analysis.NewParents).
+// Returns (nil, -1) when n is not under any placed node — e.g. inside
+// a function literal, whose body belongs to its own Graph.
+func (g *Graph) Enclosing(n ast.Node, parents map[ast.Node]ast.Node) (*Block, int) {
+	for n != nil {
+		if b, ok := g.blockOf[n]; ok {
+			return b, g.indexOf[n]
+		}
+		// Do not climb out of a nested function literal: its statements
+		// belong to the literal's own graph, not this one.
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return nil, -1
+		}
+		n = parents[n]
+	}
+	return nil, -1
+}
+
+func (g *Graph) markReachable() {
+	var stack []*Block
+	g.Entry.reachable = true
+	stack = append(stack, g.Entry)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !s.reachable {
+				s.reachable = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Builder.
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label     string // non-empty when the construct is labeled
+	brk, cont *Block // cont is nil for switch/select
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	labels map[string]*Block
+	gotos  []pendingGoto
+
+	// pendingLabel carries a LabeledStmt's label to the loop or switch
+	// it labels, so `break L` / `continue L` resolve to its frame.
+	pendingLabel string
+	// fallTarget is the next case-clause body while building a switch
+	// clause; a fallthrough statement edges to it.
+	fallTarget *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to next and continues there.
+func (b *builder) jump(next *Block) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+// add places a node at the end of the current block.
+func (b *builder) add(n ast.Node) {
+	b.g.blockOf[n] = b.cur
+	b.g.indexOf[n] = len(b.cur.Nodes)
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current block (return/panic/goto/break/continue):
+// whatever follows in the source is unreachable from here.
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// A label only applies to the statement written directly after it.
+	if _, ok := s.(*ast.LabeledStmt); !ok {
+		defer func() { b.pendingLabel = "" }()
+	}
+	switch s := s.(type) {
+	case nil, *ast.BadStmt, *ast.EmptyStmt:
+		// nothing
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.terminate()
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.jump(target)
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, false)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+
+	default:
+		// Future statement kinds: place conservatively in the current
+		// block so node lookups still resolve.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.brk)
+				break
+			}
+		}
+		b.terminate()
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont != nil && (label == "" || f.label == label) {
+				b.edge(b.cur, f.cont)
+				break
+			}
+		}
+		b.terminate()
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.terminate()
+	case "fallthrough":
+		if b.fallTarget != nil {
+			b.edge(b.cur, b.fallTarget)
+		}
+		b.terminate()
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.jump(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock()
+	done := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, done)
+	}
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, cont)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.jump(head)
+	// The RangeStmt node stands for the per-iteration step: advancing
+	// the iterator and assigning Key/Value (reach.go treats it as their
+	// definition site).
+	b.add(s)
+	body := b.newBlock()
+	done := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, done)
+
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// switchBody builds the clauses of a switch or type switch. The tag (or
+// type-switch assign) has already been placed in the current block.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, allowFall bool) {
+	tag := b.cur
+	done := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(tag, bodies[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(tag, done) // no case matches
+	}
+
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		// Case label expressions are placed in the clause body so node
+		// lookups inside them resolve to a block.
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.fallTarget = nil
+		if allowFall && i+1 < len(clauses) {
+			b.fallTarget = bodies[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.fallTarget = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	sel := b.cur
+	done := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock()
+		b.edge(sel, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

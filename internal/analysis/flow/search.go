@@ -1,0 +1,76 @@
+package flow
+
+// Guarded path search: can control get from here to there without
+// passing a node the caller designates as a barrier? This is the
+// primitive behind handleleak's coverage questions — "does some exit
+// path avoid every release?" and "can the acquire run again before a
+// release?" — phrased so the analyzer supplies the semantics (what
+// releases) and the graph supplies the paths.
+
+import "go/ast"
+
+// ExitAvoiding reports whether control, starting immediately after the
+// node at position idx of block b, can reach the function exit without
+// first passing a node for which avoid returns true. Unreachable
+// blocks never yield paths.
+func (g *Graph) ExitAvoiding(b *Block, idx int, avoid func(ast.Node) bool) bool {
+	return g.search(b, idx, nil, avoid)
+}
+
+// ReachesAvoiding reports whether control, starting immediately after
+// the node at position idx of block b, can reach target without first
+// passing a node for which avoid returns true. Pass the starting node
+// itself as target to ask whether it can run a second time (a cycle)
+// before any barrier.
+func (g *Graph) ReachesAvoiding(b *Block, idx int, target ast.Node, avoid func(ast.Node) bool) bool {
+	return g.search(b, idx, target, avoid)
+}
+
+// search walks forward from (b, idx+1). A nil target means "reaching
+// the Exit block is the goal".
+func (g *Graph) search(b *Block, idx int, target ast.Node, avoid func(ast.Node) bool) bool {
+	if b == nil || !b.reachable {
+		return false
+	}
+	visited := make(map[*Block]bool)
+	// scan walks one block from node position `from`; it returns
+	// (found, blocked): found when the goal was met, blocked when a
+	// barrier cut this path inside the block.
+	scan := func(blk *Block, from int) (found, blocked bool) {
+		for i := from; i < len(blk.Nodes); i++ {
+			n := blk.Nodes[i]
+			if target != nil && n == target {
+				return true, false
+			}
+			if avoid(n) {
+				return false, true
+			}
+		}
+		if target == nil && blk == g.Exit {
+			return true, false
+		}
+		return false, false
+	}
+
+	var walk func(blk *Block, from int) bool
+	walk = func(blk *Block, from int) bool {
+		found, blocked := scan(blk, from)
+		if found {
+			return true
+		}
+		if blocked {
+			return false
+		}
+		for _, s := range blk.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(b, idx+1)
+}

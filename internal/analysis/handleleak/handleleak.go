@@ -1,24 +1,39 @@
 // Package handleleak enforces the pooled-resource discipline around
 // functions tagged //growt:acquires <release>: the value such a
-// function returns must be captured into a variable and released by a
-// defer in the very next statement, so the release dominates every
-// exit path — including panics raised by user callbacks (hashers,
-// Compute closures). This is the static form of the handle-strand bug
-// PR 5 fixed by hand: a panicking closure between acquire() and a
-// trailing release() permanently shrinks the handle pool.
+// function returns must be captured into a variable whose release
+// post-dominates the acquire — no path from the acquire may reach the
+// function exit without releasing the handle. This is the static form
+// of the handle-strand bug PR 5 fixed by hand: a leaked handle
+// permanently shrinks the pool.
 //
-// Accepted shape:
+// The check is flow-sensitive, built on internal/analysis/flow. Two
+// shapes satisfy it:
 //
 //	h := m.acquire()
-//	defer m.release(h)            // or: defer func() { ...; m.release(h); ... }()
+//	defer m.release(h)            // covers every exit, including panics
 //
-// Reported shapes:
-//
-//	h := m.acquire(); work(); m.release(h)   // release does not dominate panic paths
-//	m.acquire()                              // result discarded
-//	return m.acquire()                       // ownership escapes unchecked
 //	h := m.acquire()
-//	if ok { defer m.release(h) }             // defer is not the next statement
+//	if bad {
+//	    m.release(h)              // explicit release on EVERY exit path
+//	    return
+//	}
+//	m.release(h)
+//
+// A deferred closure counts only if the closure itself releases on all
+// of its own exit paths — `defer func() { if ok { return }; m.release(h) }()`
+// is a leak, which the earlier syntactic version of this analyzer
+// (release "in the very next statement") could not see. Conversely the
+// defer no longer has to be the literal next statement: post-dominance
+// is the real invariant.
+//
+// A second rule catches defer-in-loop accumulation: if control can
+// return to the acquire before a direct (non-deferred) release runs,
+// the deferred releases pile up until function exit and the pool
+// drains. `for { h := m.acquire(); defer m.release(h) }` is an error.
+//
+// Explicit `panic(x)` statements are exit paths too: an arm that
+// panics between acquire and a trailing release is reported unless a
+// defer covers it.
 package handleleak
 
 import (
@@ -27,13 +42,14 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
 )
 
 // Analyzer is the handleleak pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "handleleak",
-	Doc: "require every //growt:acquires call to be followed immediately by " +
-		"a dominating defer of its release function",
+	Doc: "require the release of every //growt:acquires handle to " +
+		"post-dominate the acquire (flow-sensitive)",
 	Run: run,
 }
 
@@ -43,6 +59,7 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	parents := analysis.NewParents(pass.Files)
+	graphs := make(map[*ast.BlockStmt]*flow.Graph)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -54,7 +71,7 @@ func run(pass *analysis.Pass) error {
 			if _, excl := analysis.FuncDirective(fd, "exclusive"); excl {
 				continue
 			}
-			checkFunc(pass, fd, acquirers, parents)
+			checkFunc(pass, fd, acquirers, parents, graphs)
 		}
 	}
 	return nil
@@ -88,8 +105,8 @@ func taggedAcquirers(pass *analysis.Pass) map[types.Object]string {
 }
 
 // checkFunc walks one function body looking for calls to tagged
-// acquirers and validates the capture+defer shape around each.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[types.Object]string, parents analysis.Parents) {
+// acquirers and validates the flow around each.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[types.Object]string, parents analysis.Parents, graphs map[*ast.BlockStmt]*flow.Graph) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -108,15 +125,14 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[types.Object
 		if pass.TypesInfo.Defs[fd.Name] == obj {
 			return true
 		}
-		checkAcquireSite(pass, call, release, parents)
+		checkAcquireSite(pass, call, release, parents, graphs)
 		return true
 	})
 }
 
-// checkAcquireSite validates one acquire call: it must be the sole RHS
-// of a single-variable assignment whose next statement defers the
-// release of that variable.
-func checkAcquireSite(pass *analysis.Pass, call *ast.CallExpr, release string, parents analysis.Parents) {
+// checkAcquireSite validates one acquire call: its result must be
+// captured, and the capture's release must post-dominate it.
+func checkAcquireSite(pass *analysis.Pass, call *ast.CallExpr, release string, parents analysis.Parents, graphs map[*ast.BlockStmt]*flow.Graph) {
 	report := func(format string, args ...any) {
 		pass.Reportf(call.Pos(), format, args...)
 	}
@@ -124,7 +140,7 @@ func checkAcquireSite(pass *analysis.Pass, call *ast.CallExpr, release string, p
 	assign, ok := parents[call].(*ast.AssignStmt)
 	if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != ast.Expr(call) || len(assign.Lhs) != 1 {
 		report("result of //growt:acquires call must be captured as `h := ...` " +
-			"and released by a defer in the next statement")
+			"so its release can be checked")
 		return
 	}
 	lhs, ok := assign.Lhs[0].(*ast.Ident)
@@ -136,58 +152,111 @@ func checkAcquireSite(pass *analysis.Pass, call *ast.CallExpr, release string, p
 	if handleObj == nil {
 		handleObj = pass.TypesInfo.Uses[lhs] // plain `=` to an existing var
 	}
-
-	list, idx := stmtContext(assign, parents)
-	if list == nil || idx < 0 || idx+1 >= len(list) {
-		report("//growt:acquires call must be followed by `defer ... %s(%s)`", release, lhs.Name)
+	if handleObj == nil {
+		report("cannot resolve the captured handle %s", lhs.Name)
 		return
 	}
-	next, ok := list[idx+1].(*ast.DeferStmt)
-	if !ok || !defersRelease(pass, next.Call, release, handleObj) {
-		report("statement after //growt:acquires call must be `defer ... %s(%s)` "+
-			"so the release dominates panic paths", release, lhs.Name)
-	}
-}
 
-// stmtContext locates the statement list containing stmt and its index
-// within it.
-func stmtContext(stmt ast.Stmt, parents analysis.Parents) ([]ast.Stmt, int) {
-	var list []ast.Stmt
-	switch p := parents[stmt].(type) {
-	case *ast.BlockStmt:
-		list = p.List
-	case *ast.CaseClause:
-		list = p.Body
-	case *ast.CommClause:
-		list = p.Body
-	default:
-		return nil, -1
+	body := enclosingBody(assign, parents)
+	if body == nil {
+		return
 	}
-	for i, s := range list {
-		if s == stmt {
-			return list, i
+	g := graphs[body]
+	if g == nil {
+		g = flow.New(body)
+		graphs[body] = g
+	}
+	b := g.BlockOf(assign)
+	if b == nil {
+		return
+	}
+	idx := g.NodeIndex(assign)
+
+	directRelease := func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
 		}
+		return containsReleaseCall(pass, n, release, handleObj)
 	}
-	return nil, -1
+	releases := func(n ast.Node) bool {
+		if ds, isDefer := n.(*ast.DeferStmt); isDefer {
+			return deferReleases(pass, ds.Call, release, handleObj, graphs)
+		}
+		return containsReleaseCall(pass, n, release, handleObj)
+	}
+
+	if g.ExitAvoiding(b, idx, releases) {
+		report("handle %s may leak: a path from this //growt:acquires call reaches "+
+			"the function exit without %s(%s); the release must post-dominate the "+
+			"acquire (defer it, or release on every exit path)",
+			lhs.Name, release, lhs.Name)
+		return
+	}
+	if g.ReachesAvoiding(b, idx, assign, directRelease) {
+		report("handle %s is acquired again before %s(%s) runs: deferred releases "+
+			"only fire at function exit, so looping over the acquire accumulates handles",
+			lhs.Name, release, lhs.Name)
+	}
 }
 
-// defersRelease reports whether the deferred call releases handleObj
-// via a function named release — either directly (defer m.release(h))
-// or inside a deferred closure that calls release(h) somewhere.
-func defersRelease(pass *analysis.Pass, call *ast.CallExpr, release string, handleObj types.Object) bool {
-	if lit, ok := call.Fun.(*ast.FuncLit); ok {
-		found := false
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			inner, ok := n.(*ast.CallExpr)
-			if ok && isReleaseCall(pass, inner, release, handleObj) {
-				found = true
-				return false
-			}
-			return true
-		})
-		return found
+// enclosingBody returns the body of the innermost function (literal or
+// declaration) containing n.
+func enclosingBody(n ast.Node, parents analysis.Parents) *ast.BlockStmt {
+	for n != nil {
+		switch fn := n.(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+		n = parents[n]
 	}
-	return isReleaseCall(pass, call, release, handleObj)
+	return nil
+}
+
+// deferReleases reports whether the deferred call is guaranteed to
+// release handleObj: either directly (defer m.release(h)) or via a
+// closure that releases on every one of its own exit paths.
+func deferReleases(pass *analysis.Pass, call *ast.CallExpr, release string, handleObj types.Object, graphs map[*ast.BlockStmt]*flow.Graph) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return isReleaseCall(pass, call, release, handleObj)
+	}
+	// The closure gets its own flow graph: a conditional release inside
+	// it does not cover the exits that skip it.
+	g := graphs[lit.Body]
+	if g == nil {
+		g = flow.New(lit.Body)
+		graphs[lit.Body] = g
+	}
+	rel := func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false // nested defers inside the closure: out of scope
+		}
+		return containsReleaseCall(pass, n, release, handleObj)
+	}
+	return !g.ExitAvoiding(g.Entry, -1, rel)
+}
+
+// containsReleaseCall reports whether block node n contains a direct
+// release call for handleObj, without descending into nested function
+// literals (a closure mentioning release is not a release here).
+func containsReleaseCall(pass *analysis.Pass, n ast.Node, release string, handleObj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && isReleaseCall(pass, call, release, handleObj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // isReleaseCall reports whether call is <recv>.release(h) or release(h)

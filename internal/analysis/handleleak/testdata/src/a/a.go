@@ -1,6 +1,9 @@
-// Package a is the handleleak fixture: the capture+defer shape around
-// a //growt:acquires-tagged pool getter, with every leak shape the
-// analyzer names — including the panic-path leak that motivated it.
+// Package a is the handleleak fixture: the flow-sensitive release
+// discipline around a //growt:acquires-tagged pool getter. The rule is
+// post-dominance — no path from the acquire may reach the function
+// exit without a release — so both defer-based and
+// release-on-every-path shapes are accepted, and every leak shape here
+// names the path that escapes.
 package a
 
 type pool struct{ ch chan int }
@@ -27,10 +30,54 @@ func goodClosure(p *pool, f func(int)) {
 	f(h)
 }
 
-func panicPathLeak(p *pool, f func()) {
-	h := p.acquire() // want `statement after`
-	f()              // a panic here strands h: release never runs
+// The defer no longer has to be the very next statement: straight-line
+// work before it still post-dominates the acquire.
+func goodDeferLater(p *pool) {
+	h := p.acquire()
+	sink = h
+	defer p.release(h)
+}
+
+// Explicit release on every exit path is accepted too.
+func goodEveryPath(p *pool, ok bool) {
+	h := p.acquire()
+	if ok {
+		p.release(h)
+		return
+	}
+	sink = h
 	p.release(h)
+}
+
+// Tail release with no branches in between: nothing can exit early.
+// (Only literal panic statements are modeled as exits; a panicking
+// callee between acquire and release still wants a defer, but that is
+// a style call, not a flow fact.)
+func goodTail(p *pool, f func()) {
+	h := p.acquire()
+	f()
+	p.release(h)
+}
+
+// Release inside a loop, re-acquire each iteration: fine, the direct
+// release runs before control returns to the acquire.
+func goodLoop(p *pool) {
+	for i := 0; i < 3; i++ {
+		h := p.acquire()
+		sink = h
+		p.release(h)
+	}
+}
+
+func goodSwitch(p *pool, x int) {
+	h := p.acquire()
+	switch x {
+	case 1:
+		p.release(h)
+	default:
+		sink = h
+		p.release(h)
+	}
 }
 
 func discarded(p *pool) {
@@ -45,21 +92,54 @@ func escapes(p *pool) int {
 	return p.acquire() // want `captured as`
 }
 
-func tail(p *pool) {
-	sink = p.acquire() // want `must be followed by`
+// The early return leaves without releasing.
+func earlyReturnLeak(p *pool, ok bool) {
+	h := p.acquire() // want `may leak`
+	if ok {
+		return
+	}
+	p.release(h)
 }
 
-func deferLate(p *pool, ok bool) {
-	h := p.acquire() // want `statement after`
+// One arm panics between acquire and the trailing release.
+func panicArmLeak(p *pool, ok bool) {
+	h := p.acquire() // want `may leak`
+	if ok {
+		panic("bad")
+	}
+	p.release(h)
+}
+
+// A branch-local defer covers only its own arm.
+func deferOneArm(p *pool, ok bool) {
+	h := p.acquire() // want `may leak`
 	if ok {
 		defer p.release(h)
 	}
+	sink = h
 }
 
+// Releasing a different handle releases nothing.
 func wrongHandle(p *pool, g int) {
-	h := p.acquire() // want `statement after`
+	h := p.acquire() // want `may leak`
 	defer p.release(g)
 	sink = h
+}
+
+// No release at all.
+func never(p *pool) {
+	h := p.acquire() // want `may leak`
+	sink = h
+}
+
+// Deferred releases fire at function exit, so looping over the acquire
+// accumulates live handles.
+func deferInLoop(p *pool) {
+	for i := 0; i < 3; i++ {
+		h := p.acquire() // want `acquired again`
+		defer p.release(h)
+		sink = h
+	}
 }
 
 //growt:exclusive -- teardown drains the pool single-threaded

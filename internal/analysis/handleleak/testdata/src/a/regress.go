@@ -1,0 +1,48 @@
+package a
+
+// Regression fixtures for leaks the PR 6 syntactic analyzer provably
+// missed. That version accepted any `defer func() { ... }()` in the
+// statement after the acquire as long as release(h) appeared SOMEWHERE
+// in the closure body — it never asked whether the closure's own
+// control flow could skip it. The flow-sensitive rewrite builds a CFG
+// for the deferred closure and demands the release on every one of its
+// exit paths.
+
+// The closure returns early when ok, skipping the release: the defer
+// is the next statement, release(h) is in the closure, and the handle
+// still leaks.
+func closureEarlyReturnLeak(p *pool, ok bool) {
+	h := p.acquire() // want `may leak`
+	defer func() {
+		if ok {
+			return
+		}
+		p.release(h)
+	}()
+	sink = h
+}
+
+// Same closure shape with the release hoisted above the early return:
+// every closure exit releases, so this is fine.
+func closureEarlyReturnFixed(p *pool, ok bool) {
+	h := p.acquire()
+	defer func() {
+		p.release(h)
+		if ok {
+			return
+		}
+		sink = h
+	}()
+	sink = h
+}
+
+// Conditional release inside the closure, no release on the other arm.
+func closureConditionalLeak(p *pool, ok bool) {
+	h := p.acquire() // want `may leak`
+	defer func() {
+		if ok {
+			p.release(h)
+		}
+	}()
+	sink = h
+}

@@ -1,0 +1,254 @@
+package unit
+
+// White-box tests for the driver's error paths — the branches `go vet
+// -vettool` only exercises when something is wrong: unreadable or
+// malformed .cfg files, dependency vetx files with a skewed schema or
+// junk payload, and the SucceedOnTypecheckFailure escape hatch cmd/go
+// uses for packages it already knows are broken.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeTemp writes content under a test temp dir and returns the path.
+func writeTemp(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeCfg marshals cfg into a .cfg file like cmd/go would.
+func writeCfg(t *testing.T, dir string, cfg Config) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeTemp(t, dir, "vet.cfg", string(data))
+}
+
+// readVetx decodes a facts file the driver wrote.
+func readVetx(t *testing.T, path string) facts {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f facts
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("vetx output is not valid JSON: %v", err)
+	}
+	return f
+}
+
+func TestRunMissingCfg(t *testing.T) {
+	if _, err := run(filepath.Join(t.TempDir(), "absent.cfg"), nil); err == nil {
+		t.Fatal("run succeeded on a nonexistent config file")
+	}
+}
+
+func TestRunMalformedCfg(t *testing.T) {
+	cfg := writeTemp(t, t.TempDir(), "vet.cfg", "{this is not json")
+	_, err := run(cfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "cannot decode vet config") {
+		t.Fatalf("want a decode error naming the config, got %v", err)
+	}
+}
+
+// A standard-library package must short-circuit: empty facts, no
+// parsing (GoFiles here do not even exist).
+func TestRunStandardPackage(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeCfg(t, dir, Config{
+		ImportPath: "fmt",
+		GoFiles:    []string{filepath.Join(dir, "does-not-exist.go")},
+		Standard:   map[string]bool{"fmt": true},
+		VetxOutput: vetx,
+	})
+	diags, err := run(cfg, nil)
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("standard package run: diags=%v err=%v", diags, err)
+	}
+	f := readVetx(t, vetx)
+	if f.Schema != factsSchema || len(f.Enums) != 0 {
+		t.Fatalf("standard package facts = %+v, want empty schema-%d payload", f, factsSchema)
+	}
+}
+
+// Parse failures honor SucceedOnTypecheckFailure: cmd/go sets it when
+// the compiler has already reported the package broken, and the vet
+// tool must not double-report.
+func TestRunParseFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := writeTemp(t, dir, "bad.go", "package p\n\nfunc {{{\n")
+	vetx := filepath.Join(dir, "out.vetx")
+
+	base := Config{
+		ImportPath: "example/p",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}
+
+	strict := base
+	if _, err := run(writeCfg(t, dir, strict), nil); err == nil {
+		t.Fatal("parse failure with SucceedOnTypecheckFailure=false did not error")
+	}
+
+	lenient := base
+	lenient.SucceedOnTypecheckFailure = true
+	diags, err := run(writeCfg(t, dir, lenient), nil)
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("parse failure with SucceedOnTypecheckFailure=true: diags=%v err=%v", diags, err)
+	}
+	// The escape hatch still owes cmd/go a facts file (it is a declared
+	// build output).
+	if f := readVetx(t, vetx); f.Schema != factsSchema {
+		t.Fatalf("facts schema = %d, want %d", f.Schema, factsSchema)
+	}
+}
+
+// Type-check failures (the file parses, the types don't resolve) take
+// the later branch: facts are extracted from the parse either way, and
+// SucceedOnTypecheckFailure decides whether the run errors.
+func TestRunTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := writeTemp(t, dir, "bad.go", "package p\n\nvar x undeclaredType\n")
+	vetx := filepath.Join(dir, "out.vetx")
+
+	base := Config{
+		ID:         "example/p",
+		ImportPath: "example/p",
+		Compiler:   "gc",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}
+
+	strict := base
+	if _, err := run(writeCfg(t, dir, strict), nil); err == nil {
+		t.Fatal("type-check failure with SucceedOnTypecheckFailure=false did not error")
+	}
+
+	lenient := base
+	lenient.SucceedOnTypecheckFailure = true
+	diags, err := run(writeCfg(t, dir, lenient), nil)
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("type-check failure with SucceedOnTypecheckFailure=true: diags=%v err=%v", diags, err)
+	}
+}
+
+// VetxOnly runs must extract facts from the parse and stop before
+// type checking — a type error in the file must not matter.
+func TestRunVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	src := writeTemp(t, dir, "p.go", `package p
+
+var x undeclaredType
+
+//growt:enum status
+const (
+	statusA = iota
+	statusB
+)
+`)
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeCfg(t, dir, Config{
+		ImportPath: "example/p",
+		GoFiles:    []string{src},
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	diags, err := run(cfg, nil)
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("VetxOnly run: diags=%v err=%v", diags, err)
+	}
+	f := readVetx(t, vetx)
+	if len(f.Enums) != 1 || f.Enums[0].Name != "status" || len(f.Enums[0].Members) != 2 {
+		t.Fatalf("VetxOnly facts = %+v, want the status group with 2 members", f)
+	}
+}
+
+// Dependency vetx files with a skewed schema, junk content, or a
+// missing file are each silently skipped — cross-package enums are
+// best-effort — while well-formed ones still load.
+func TestRunDepFactsSchemaSkew(t *testing.T) {
+	dir := t.TempDir()
+	src := writeTemp(t, dir, "p.go", "package p\n")
+
+	good := writeTemp(t, dir, "good.vetx", `{"schema":1,"enums":[{"pkg":"dep/ok","name":"status","members":["a","b"]}]}`)
+	skewed := writeTemp(t, dir, "skewed.vetx", `{"schema":2,"enums":[{"pkg":"dep/skew","name":"future","members":["x"]}]}`)
+	junk := writeTemp(t, dir, "junk.vetx", "not json at all")
+
+	var imported []analysis.EnumGroup
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "records the imported enum groups the driver hands it",
+		Run: func(pass *analysis.Pass) error {
+			imported = pass.ImportedEnums
+			return nil
+		},
+	}
+
+	cfg := writeCfg(t, dir, Config{
+		ID:         "example/p",
+		ImportPath: "example/p",
+		Compiler:   "gc",
+		GoFiles:    []string{src},
+		PackageVetx: map[string]string{
+			"dep/ok":      good,
+			"dep/skew":    skewed,
+			"dep/junk":    junk,
+			"dep/missing": filepath.Join(dir, "never-written.vetx"),
+		},
+		VetxOutput: filepath.Join(dir, "out.vetx"),
+	})
+	diags, err := run(cfg, []*analysis.Analyzer{probe})
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("run: diags=%v err=%v", diags, err)
+	}
+	if len(imported) != 1 || imported[0].PkgPath != "dep/ok" || imported[0].Name != "status" {
+		t.Fatalf("ImportedEnums = %+v, want only dep/ok's status group", imported)
+	}
+}
+
+// Diagnostics come back rendered as file:line:col: message, the shape
+// Main prints to stderr for `go vet` to surface.
+func TestRunRendersDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	src := writeTemp(t, dir, "p.go", "package p\n\nvar V int\n")
+
+	shouter := &analysis.Analyzer{
+		Name: "shouter",
+		Doc:  "reports every file's package clause",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				pass.Report(analysis.Diagnostic{Pos: f.Package, Message: "package clause here"})
+			}
+			return nil
+		},
+	}
+
+	cfg := writeCfg(t, dir, Config{
+		ID:         "example/p",
+		ImportPath: "example/p",
+		Compiler:   "gc",
+		GoFiles:    []string{src},
+		VetxOutput: filepath.Join(dir, "out.vetx"),
+	})
+	diags, err := run(cfg, []*analysis.Analyzer{shouter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.HasSuffix(diags[0], "p.go:1:1: package clause here") {
+		t.Fatalf("diags = %q, want one ending in \"p.go:1:1: package clause here\"", diags)
+	}
+}

@@ -1,0 +1,67 @@
+// Package a is the server side of the wirepair fixture: the enum
+// groups and the dispatch role, in good and drifted shapes.
+package a
+
+type Op byte
+
+//growt:enum opcode
+const (
+	OpPing Op = 0x01
+	OpGet  Op = 0x02
+	OpSet  Op = 0x03
+)
+
+type Status byte
+
+//growt:enum wirestatus
+const (
+	StatusOK  Status = 0x00
+	StatusErr Status = 0x01
+)
+
+// Every opcode has an explicit case; the default routes genuinely
+// unknown bytes.
+//
+//growt:wire dispatch opcode
+func Dispatch(op Op) int {
+	switch op {
+	case OpPing:
+		return 0
+	case OpGet:
+		return 1
+	case OpSet:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// OpSet silently falls into the unknown-opcode default: exactly the
+// drift the analyzer exists to catch.
+//
+//growt:wire dispatch opcode
+func DispatchIncomplete(op Op) int { // want `missing explicit cases for OpSet`
+	switch op {
+	case OpPing:
+		return 0
+	case OpGet:
+		return 1
+	default:
+		return -1
+	}
+}
+
+//growt:wire dispatch nosuch
+func DispatchUnknownGroup(op Op) int { // want `unknown //growt:enum group`
+	return 0
+}
+
+//growt:wire dispatch
+func DispatchMalformed(op Op) int { // want `wants .//growt:wire`
+	return 0
+}
+
+//growt:wire route opcode
+func DispatchBadRole(op Op) int { // want `role must be dispatch, encode, or decode`
+	return 0
+}

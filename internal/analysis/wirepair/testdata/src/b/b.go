@@ -1,0 +1,28 @@
+// Package b is the well-paired client side of the wirepair fixture:
+// package a's groups arrive as imported facts (the vetx route), the
+// decoder cases every status explicitly, and every opcode flows
+// through the tagged encoder somewhere in the package.
+package b
+
+import "a"
+
+//growt:wire decode wirestatus
+func Decode(s a.Status) int {
+	switch s {
+	case a.StatusOK:
+		return 0
+	case a.StatusErr:
+		return -1
+	}
+	return -2
+}
+
+//growt:wire encode opcode
+func send(op a.Op) {}
+
+func Ping() { send(a.OpPing) }
+
+func GetAndSet() {
+	send(a.OpGet)
+	send(a.OpSet)
+}

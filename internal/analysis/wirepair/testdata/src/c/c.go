@@ -1,0 +1,27 @@
+// Package c is the drifted client side of the wirepair fixture: a
+// decoder hiding a known status behind its default, and an encoder the
+// package never feeds one of the opcodes.
+package c
+
+import "a"
+
+// StatusErr ends up in the default arm — which is how an unhandled
+// status hides.
+//
+//growt:wire decode wirestatus
+func Decode(s a.Status) int { // want `missing explicit cases for StatusErr`
+	switch s {
+	case a.StatusOK:
+		return 0
+	default:
+		return -1
+	}
+}
+
+//growt:wire encode opcode
+func send(op a.Op) {} // want `no call passing OpSet`
+
+func UsePartial() {
+	send(a.OpPing)
+	send(a.OpGet)
+}

@@ -1,0 +1,217 @@
+// Package wirepair keeps the three legs of the wire contract —
+// opcode enum, server dispatch, client encoder/decoder — from
+// drifting apart. The enum groups live in internal/server/wire.go
+// (//growt:enum opcode, //growt:enum wirestatus); the functions that
+// must stay paired with them declare their role:
+//
+//	//growt:wire dispatch opcode    — server-side request dispatcher:
+//	                                  every opcode member must appear as
+//	                                  an explicit case in the function's
+//	                                  switch statements
+//	//growt:wire encode opcode      — client-side request entry point:
+//	                                  somewhere in the package, every
+//	                                  opcode member must be passed as an
+//	                                  argument to a tagged encoder
+//	//growt:wire decode wirestatus  — client-side response decoder:
+//	                                  every status member must appear as
+//	                                  an explicit case (a default clause
+//	                                  does not count — it would hide an
+//	                                  unhandled status)
+//
+// Group names resolve same-package or across packages via the vetx
+// facts the unit driver ships (the same mechanism statusswitch uses),
+// so the client package is checked against the server's enums without
+// either importing analyzer machinery. Adding an opcode to wire.go
+// without teaching the dispatcher, the client API, and the decoder
+// about it becomes a build error in whichever package fell behind.
+package wirepair
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wirepair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirepair",
+	Doc: "pair every //growt:enum opcode/status member with its " +
+		"//growt:wire dispatch, encode, and decode sites",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	groups := analysis.EnumGroupsFromFiles(pass.Pkg.Path(), pass.Files)
+	groups = append(groups, pass.ImportedEnums...)
+	byName := make(map[string]analysis.EnumGroup)
+	for _, g := range groups {
+		byName[g.Name] = g
+	}
+
+	// encoders[group name] = encode-tagged function objects; the
+	// call-site sweep below needs them all before it can judge coverage.
+	type encodeSet struct {
+		fns   map[types.Object]bool
+		first *ast.FuncDecl
+	}
+	encoders := make(map[string]*encodeSet)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			val, ok := analysis.FuncDirective(fd, "wire")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(val)
+			if len(fields) != 2 {
+				pass.Reportf(fd.Pos(), "//growt:wire wants `//growt:wire <dispatch|encode|decode> <group>`, got %q", val)
+				continue
+			}
+			role, groupName := fields[0], fields[1]
+			group, found := byName[groupName]
+			if !found {
+				pass.Reportf(fd.Pos(), "//growt:wire %s names unknown //growt:enum group %q (not declared here or in any import)", role, groupName)
+				continue
+			}
+			switch role {
+			case "dispatch", "decode":
+				checkCases(pass, fd, role, group)
+			case "encode":
+				es := encoders[groupName]
+				if es == nil {
+					es = &encodeSet{fns: make(map[types.Object]bool), first: fd}
+					encoders[groupName] = es
+				}
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					es.fns[obj] = true
+				}
+			default:
+				pass.Reportf(fd.Pos(), "//growt:wire role must be dispatch, encode, or decode, got %q", role)
+			}
+		}
+	}
+
+	for groupName, es := range encoders {
+		checkEncoders(pass, es.first, es.fns, byName[groupName])
+	}
+	return nil
+}
+
+// checkCases requires every member of group to appear as an explicit
+// case expression in some switch inside fd's body. A default clause is
+// deliberately not an excuse: dispatchers and decoders route unknown
+// codes through it, so hiding a known member there is exactly the
+// drift this analyzer exists to catch.
+func checkCases(pass *analysis.Pass, fd *ast.FuncDecl, role string, group analysis.EnumGroup) {
+	if fd.Body == nil {
+		pass.Reportf(fd.Pos(), "//growt:wire %s on a function with no body", role)
+		return
+	}
+	member := make(map[string]bool, len(group.Members))
+	for _, m := range group.Members {
+		member[m] = true
+	}
+	seen := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			obj := constObject(pass, expr)
+			if obj == nil || obj.Pkg() == nil {
+				continue
+			}
+			if obj.Pkg().Path() == group.PkgPath && member[obj.Name()] {
+				seen[obj.Name()] = true
+			}
+		}
+		return true
+	})
+	if missing := missingMembers(group, seen); missing != "" {
+		pass.Reportf(fd.Pos(),
+			"wire %s for //growt:enum %s is missing explicit cases for %s",
+			role, group.Name, missing)
+	}
+}
+
+// checkEncoders requires every member of group to be passed, somewhere
+// in this package, as an argument to one of the encode-tagged
+// functions.
+func checkEncoders(pass *analysis.Pass, first *ast.FuncDecl, fns map[types.Object]bool, group analysis.EnumGroup) {
+	member := make(map[string]bool, len(group.Members))
+	for _, m := range group.Members {
+		member[m] = true
+	}
+	seen := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeObject(pass, call); callee == nil || !fns[callee] {
+				return true
+			}
+			for _, arg := range call.Args {
+				obj := constObject(pass, arg)
+				if obj == nil || obj.Pkg() == nil {
+					continue
+				}
+				if obj.Pkg().Path() == group.PkgPath && member[obj.Name()] {
+					seen[obj.Name()] = true
+				}
+			}
+			return true
+		})
+	}
+	if missing := missingMembers(group, seen); missing != "" {
+		pass.Reportf(first.Pos(),
+			"wire encode for //growt:enum %s has no call passing %s to a tagged encoder",
+			group.Name, missing)
+	}
+}
+
+// missingMembers lists group members absent from seen, in declaration
+// order; "" when covered.
+func missingMembers(group analysis.EnumGroup, seen map[string]bool) string {
+	var missing []string
+	for _, m := range group.Members {
+		if !seen[m] {
+			missing = append(missing, m)
+		}
+	}
+	return strings.Join(missing, ", ")
+}
+
+// constObject resolves an expression to the constant it names, if any.
+func constObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if c, ok := pass.TypesInfo.Uses[e].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.TypesInfo.Uses[e.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// calleeObject resolves the object a call invokes.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

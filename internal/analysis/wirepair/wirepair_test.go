@@ -1,0 +1,12 @@
+package wirepair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirepair"
+)
+
+func TestWirePair(t *testing.T) {
+	analysistest.Run(t, "testdata", wirepair.Analyzer, "a", "b", "c")
+}

@@ -419,6 +419,8 @@ func (c *conn) close(cause error) {
 // exactly once. Nil byte-string fields encode as zero-length fields,
 // never as missing ones, so callers passing nil keys or values produce
 // well-formed frames.
+//
+//growt:wire encode opcode
 func (c *conn) send(kind byte, reqBody []byte, cb func(Resp)) {
 	c.mu.Lock()
 	if c.pending == nil {
@@ -477,6 +479,8 @@ func (c *conn) fail(id uint64) {
 
 // roundTrip is send + wait. Val is copied inside the callback — the
 // reader's buffer is only stable for the callback's duration.
+//
+//growt:wire encode opcode
 func (c *conn) roundTrip(kind byte, reqBody []byte) Resp {
 	ch := make(chan Resp, 1)
 	c.send(kind, reqBody, func(r Resp) {
@@ -561,6 +565,8 @@ func (c *conn) readLoop() {
 
 // decode splits a response body per status: OK bodies carry the value
 // bytes or a u64 result, error bodies carry the message.
+//
+//growt:wire decode wirestatus
 func decode(status byte, respBody []byte) Resp {
 	r := Resp{Status: status}
 	switch status {

@@ -1,0 +1,38 @@
+package client
+
+// Fuzz target for the response-decode path: the per-status split in
+// decode must hold for arbitrary status bytes and bodies. Paired with
+// internal/server's FuzzDecodeRequest, the two ends of the wire get
+// fuzzed against the same grammar.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func FuzzDecodeResp(f *testing.F) {
+	f.Add(server.StatusOK, []byte(nil))
+	f.Add(server.StatusOK, []byte("value"))
+	f.Add(server.StatusOK, binary.BigEndian.AppendUint64(nil, 42))
+	f.Add(server.StatusNotFound, []byte(nil))
+	f.Add(server.StatusMismatch, []byte(nil))
+	f.Add(server.StatusErr, []byte("malformed request"))
+	f.Add(byte(0x7F), []byte("junk"))
+
+	f.Fuzz(func(t *testing.T, status byte, respBody []byte) {
+		r := decode(status, respBody)
+		if r.Status != status {
+			t.Fatalf("decode rewrote status %#x to %#x", status, r.Status)
+		}
+		if r.Err != nil {
+			t.Fatalf("pure decode fabricated a transport error: %v", r.Err)
+		}
+		if status == server.StatusOK && len(respBody) == 8 {
+			if want := binary.BigEndian.Uint64(respBody); r.N != want {
+				t.Fatalf("8-byte OK body decoded N=%d, want %d", r.N, want)
+			}
+		}
+	})
+}

@@ -329,6 +329,8 @@ func errFrame(dst []byte, id uint64, msg string) []byte {
 // does not parse) after which the connection must close; operation
 // failures (absent key, CAS mismatch, non-counter INCR target) are
 // ordinary statuses and keep the session alive.
+//
+//growt:wire dispatch opcode
 func (s *Server) exec(dst []byte, id uint64, kind byte, reqBody []byte) (frame []byte, fatal bool) {
 	s.c.ops.Add(1)
 	c := s.st.C
