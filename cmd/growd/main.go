@@ -48,6 +48,7 @@ func main() {
 
 		defaultTTL = flag.Duration("default-ttl", 0, "TTL applied to SET/MSET entries (0 = immortal; SETEX always wins)")
 		maxEntries = flag.Uint64("max-entries", 0, "entry budget; beyond it writes evict sampled-LRU entries (0 = unbounded)")
+		maxBytes   = flag.Uint64("max-bytes", 0, "approximate memory budget, converted to an entry budget via the map's per-entry cost; tighter of -max-entries/-max-bytes wins (0 = unbounded)")
 		sweepEvery = flag.Duration("sweep-interval", 0, "background expiry sweep tick (0 = default 1s, negative = lazy expiry only)")
 	)
 	flag.Parse()
@@ -62,6 +63,7 @@ func main() {
 	opts = append(opts,
 		growt.WithTTL(*defaultTTL),
 		growt.WithMaxEntries(*maxEntries),
+		growt.WithMaxBytes(*maxBytes),
 		growt.WithSweepInterval(*sweepEvery),
 	)
 	st := server.NewStore(opts...)
@@ -101,8 +103,9 @@ func main() {
 	}()
 
 	cacheMode := ""
-	if *defaultTTL > 0 || *maxEntries > 0 {
-		cacheMode = fmt.Sprintf(" (cache: default-ttl %v, max-entries %d)", *defaultTTL, *maxEntries)
+	if *defaultTTL > 0 || *maxEntries > 0 || *maxBytes > 0 {
+		cacheMode = fmt.Sprintf(" (cache: default-ttl %v, max-entries %d, max-bytes %d)",
+			*defaultTTL, *maxEntries, *maxBytes)
 	}
 	log.Printf("growd: serving %s table on %s%s", *strategy, ln.Addr(), cacheMode)
 	if err := srv.Serve(ln); err != nil {

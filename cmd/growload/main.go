@@ -18,7 +18,10 @@
 // writes are SETEX with that TTL, entries die under the load, and the
 // summary (and the BENCH record) reports the observed GET hit-rate —
 // the cache-serving probe against a growd running -default-ttl /
-// -max-entries.
+// -max-entries. Pointing -stats at the server's -debug address
+// additionally scrapes the sweeper gauges (entries visited/removed)
+// into the summary, so the cost of the expiry walk is visible next to
+// the throughput it rode under.
 //
 //	growload -addr 127.0.0.1:7420 -conns 4 -depth 16 -duration 5s
 //	growload -rate 50000 -skew 1.05 -writep 20 -json BENCH_service.json
@@ -32,9 +35,11 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	stderrors "errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -64,6 +69,7 @@ func main() {
 		ttlp     = flag.Int("ttlp", 100, "percent of writes issued as SETEX when -ttl is set")
 		prefill  = flag.Bool("prefill", true, "SET every key once before timing starts")
 		dialwait = flag.Duration("dialwait", 10*time.Second, "keep retrying the initial connect until this deadline")
+		stats    = flag.String("stats", "", "growd debug address (its -debug flag) to scrape sweeper gauges from after an expiring run")
 		jsonOut  = flag.String("json", "", "write a service-kind BENCH report to this path")
 		exp      = flag.String("exp", "svc-mixed", "experiment id recorded in the report")
 		table    = flag.String("table", "growd", "table label recorded in the report")
@@ -142,6 +148,18 @@ func main() {
 		fmt.Printf("hit-rate: %.4f (%d hits, %d misses)\n", rate, res.hits, res.misses)
 		extra += fmt.Sprintf(" hit_rate=%.4f", rate)
 	}
+	// An expiring workload is the sweeper's workout: when the server's
+	// debug address is known, pull its cursor-sweeper gauges so the run
+	// summary shows how much table the expiry machinery actually walked.
+	if *ttl > 0 && *stats != "" {
+		if g, err := sweepGauges(*stats); err != nil {
+			fmt.Fprintf(os.Stderr, "growload: sweeper gauges: %v\n", err)
+		} else {
+			fmt.Printf("sweeper: visited %d, removed %d (last tick: %d visited, %d removed)\n",
+				g.Visited, g.Removed, g.LastVisited, g.LastRemoved)
+			extra += fmt.Sprintf(" sweep_visited=%d sweep_removed=%d", g.Visited, g.Removed)
+		}
+	}
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  mean %v\n",
 		res.hist.Quantile(0.50), res.hist.Quantile(0.95), res.hist.Quantile(0.99), res.hist.Mean())
 
@@ -184,6 +202,32 @@ func main() {
 }
 
 func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// gauges is the sweeper slice of growd's expvar "growd" object.
+type gauges struct {
+	Visited     uint64 `json:"sweep_visited"`
+	Removed     uint64 `json:"sweep_removed"`
+	LastVisited uint64 `json:"last_sweep_visited"`
+	LastRemoved uint64 `json:"last_sweep_removed"`
+}
+
+// sweepGauges scrapes the background sweeper's counters from a growd
+// debug endpoint (the address its -debug flag listens on).
+func sweepGauges(debugAddr string) (gauges, error) {
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + debugAddr + "/debug/vars")
+	if err != nil {
+		return gauges{}, err
+	}
+	defer resp.Body.Close()
+	var page struct {
+		Growd gauges `json:"growd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return gauges{}, fmt.Errorf("decode /debug/vars: %w", err)
+	}
+	return page.Growd, nil
+}
 
 // doPrefill SETs every key once through the pipeline (async, so the
 // prefill runs at pipelined throughput, not round-trip pace).

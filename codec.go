@@ -166,10 +166,16 @@ func (a *slotArena[V]) get(idx uint64) V {
 // and back. tryEnc is the allocation-free attempt: it succeeds exactly
 // when enc would store inline, letting callers avoid orphaning an arena
 // slot on operations that may not end up storing the operand.
+//
+// slotBytes is the codec's static estimate of arena bytes per stored
+// value: zero for codecs that store (typically) inline, sizeof(V) for
+// arena-only wide values. WithMaxBytes converts its byte budget into an
+// entry budget with it.
 type valCodec[V any] struct {
-	enc    func(V) uint64
-	dec    func(uint64) V
-	tryEnc func(V) (uint64, bool)
+	enc       func(V) uint64
+	dec       func(uint64) V
+	tryEnc    func(V) (uint64, bool)
+	slotBytes uint64
 }
 
 // inlineCodec wraps an always-inline bijection (narrow integers, bool):
@@ -240,9 +246,10 @@ func newValCodec[V any]() *valCodec[V] {
 	// Wide values: every value lives in the arena, the word is the slot.
 	ar := &slotArena[V]{}
 	return &valCodec[V]{
-		enc:    func(v V) uint64 { return ar.alloc(v) },
-		dec:    func(w uint64) V { return ar.get(w) },
-		tryEnc: func(V) (uint64, bool) { return 0, false },
+		enc:       func(v V) uint64 { return ar.alloc(v) },
+		dec:       func(w uint64) V { return ar.get(w) },
+		tryEnc:    func(V) (uint64, bool) { return 0, false },
+		slotBytes: uint64(unsafe.Sizeof(zv)),
 	}
 }
 

@@ -65,6 +65,16 @@ type WordHandle = tables.Handle
 // layer beneath Map[K, V].
 type WordMap = tables.Interface
 
+// Cursor is a resumable iteration position for RangeFrom: a
+// generation-tagged slot index. The zero Cursor starts from the
+// beginning; a cursor whose generation was retired by a migration
+// restarts cleanly (re-visits possible, no stable key skipped).
+type Cursor = tables.Cursor
+
+// CursorRanger is the optional capability of word-sized tables whose
+// iteration can resume from a Cursor.
+type CursorRanger = tables.CursorRanger
+
 // AddFn adds the operand to the stored value (atomic aggregation).
 var AddFn = tables.AddFn
 
@@ -175,4 +185,15 @@ func Range(m WordMap, f func(k, v uint64) bool) bool {
 		return true
 	}
 	return false
+}
+
+// RangeFrom resumes iteration at cur if the map supports resumable
+// cursors (quiescent use only). ok is false when it does not; next and
+// wrapped follow CursorRanger semantics.
+func RangeFrom(m WordMap, cur Cursor, f func(k, v uint64) bool) (next Cursor, wrapped, ok bool) {
+	if r, isCR := m.(tables.CursorRanger); isCR {
+		next, wrapped = r.RangeFrom(cur, f)
+		return next, wrapped, true
+	}
+	return Cursor{}, false, false
 }

@@ -292,13 +292,22 @@ func isReleaseCall(pass *analysis.Pass, call *ast.CallExpr, release string, hand
 }
 
 // calleeObject resolves the object a call invokes, for plain functions
-// and methods.
+// and methods. Calls on instantiated generic functions and methods are
+// mapped back to their generic origin: the declaration carrying the
+// //growt:acquires tag is the generic object, while the call site's
+// Uses entry is the instantiation — without the normalization every
+// tagged generic acquirer (Map[K,V].acquire, Cache[K,V].NewSession)
+// would silently escape checking.
 func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	var obj types.Object
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		return pass.TypesInfo.Uses[fun]
+		obj = pass.TypesInfo.Uses[fun]
 	case *ast.SelectorExpr:
-		return pass.TypesInfo.Uses[fun.Sel]
+		obj = pass.TypesInfo.Uses[fun.Sel]
 	}
-	return nil
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.Origin()
+	}
+	return obj
 }

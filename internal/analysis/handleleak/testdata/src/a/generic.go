@@ -1,0 +1,78 @@
+package a
+
+// Generic acquirers: the tagged declaration is the generic method
+// object, while every call site resolves to an instantiation. The
+// analyzer must map instantiations back to their origin — the real
+// acquirers in the main module (Map[K,V].acquire, Cache[K,V].NewSession)
+// are all generic, so without this the discipline only binds fixtures.
+
+type gpool[T any] struct {
+	ch chan T
+}
+
+//growt:acquires put
+//growt:exclusive -- hands the element to the caller; put returns it
+func (p *gpool[T]) take() T {
+	return <-p.ch
+}
+
+func (p *gpool[T]) put(v T) {
+	p.ch <- v
+}
+
+func goodGeneric(p *gpool[int]) {
+	v := p.take()
+	defer p.put(v)
+	use(v)
+}
+
+func genericEarlyReturnLeak(p *gpool[int], bad bool) {
+	v := p.take() // want `may leak`
+	if bad {
+		return
+	}
+	p.put(v)
+}
+
+func genericNever(p *gpool[string]) {
+	v := p.take() // want `may leak`
+	_ = v
+}
+
+func genericDiscarded(p *gpool[int]) {
+	p.take() // want `captured as`
+}
+
+// A generic session type whose constructor is itself a generic method
+// releasing through a method on the handle, mirroring Map.Session /
+// Cache.NewSession in the main module.
+type gsession[T any] struct {
+	p *gpool[T]
+	v T
+}
+
+//growt:acquires Close
+//growt:exclusive -- ownership transfer: released by Close, not here
+func (p *gpool[T]) newSession() *gsession[T] {
+	return &gsession[T]{p: p, v: p.take()}
+}
+
+func (s *gsession[T]) Close() {
+	s.p.put(s.v)
+}
+
+func goodGenericSession(p *gpool[int]) {
+	s := p.newSession()
+	defer s.Close()
+	use(s.v)
+}
+
+func genericSessionLeak(p *gpool[int], bad bool) {
+	s := p.newSession() // want `may leak`
+	if bad {
+		return
+	}
+	s.Close()
+}
+
+func use(v any) {}

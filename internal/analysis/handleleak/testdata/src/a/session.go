@@ -1,0 +1,65 @@
+// Session-shaped acquirers: the tagged function returns an object that
+// releases its pooled handle via a method on itself (s.Close()), the
+// shape of growt.Map.Session and cache.NewSession. The release name in
+// the //growt:acquires tag is the method name, and the post-dominance
+// rule is unchanged: every path from the acquire must Close.
+package a
+
+type session struct {
+	p *pool
+	h int
+}
+
+// The dual tag mirrors the real Session constructors: acquires
+// registers it so callers are checked, exclusive exempts its own body
+// (the handle it borrows is deliberately released elsewhere — by
+// Close, not here).
+//
+//growt:acquires Close
+//growt:exclusive -- ownership transfer: released by Close, not here
+func (p *pool) newSession() *session { return &session{p: p, h: p.acquire()} }
+
+func (s *session) Close() { s.p.ch <- s.h }
+
+func goodSession(p *pool) int {
+	s := p.newSession()
+	defer s.Close()
+	return s.h + 1
+}
+
+func goodSessionEveryPath(p *pool, ok bool) {
+	s := p.newSession()
+	if ok {
+		s.Close()
+		return
+	}
+	sink = s.h
+	s.Close()
+}
+
+// A leaked session pins a pooled handle forever: the early return is a
+// vet error exactly like a bare-handle leak.
+func sessionEarlyReturnLeak(p *pool, ok bool) {
+	s := p.newSession() // want `may leak`
+	if ok {
+		return
+	}
+	s.Close()
+}
+
+func sessionNever(p *pool) {
+	s := p.newSession() // want `may leak`
+	sink = s.h
+}
+
+func sessionDiscarded(p *pool) {
+	p.newSession() // want `captured as`
+}
+
+// Deferred Closes pile up when the loop re-enters the acquire.
+func sessionDeferInLoop(p *pool) {
+	for i := 0; i < 3; i++ {
+		s := p.newSession() // want `acquired again`
+		defer s.Close()
+	}
+}

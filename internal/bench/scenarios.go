@@ -630,11 +630,12 @@ var Experiments = map[string]func(*Config) []Result{
 	"fig10":  Fig10Memory,
 	"fig11a": Fig11aManyThreads,
 	"fig11b": Fig11bManyThreads,
+	"sweep":  SweepCycle,
 }
 
 // Order is the canonical experiment order for "-exp all".
 var Order = []string{
 	"table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b",
 	"fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
-	"fig9a", "fig9b", "fig10", "fig11a", "fig11b",
+	"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "sweep",
 }

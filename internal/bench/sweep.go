@@ -1,0 +1,67 @@
+package bench
+
+// The sweep scenario exercises the cache layer rather than a bare
+// table: it measures the background expiry sweeper's full cycle over an
+// already-expired population. The interesting number is not throughput
+// but the visited count riding in Extra — the resumable cursor makes a
+// full cycle visit each entry about once (O(n)), where the pre-cursor
+// sweeper re-walked the table prefix every batch (O(n²/batch)), a
+// regression this scenario makes visible as visits/entry growing with n.
+
+import (
+	"fmt"
+	"time"
+
+	growt "repro"
+	"repro/internal/cache"
+)
+
+// sweepBatch is the per-SweepOnce entry budget, matching the background
+// sweeper's tick batch order of magnitude.
+const sweepBatch = 1024
+
+// SweepCycle expires n entries and sweeps the cache empty in
+// sweepBatch-sized increments, for several n, recording wall time and
+// the per-cycle visited/removed counts.
+func SweepCycle(cfg *Config) []Result {
+	cfg.Defaults()
+	header(cfg.Out, "sweep full expiry cycle (cache cursor sweeper)", "entries")
+	var results []Result
+	for _, div := range []uint64{16, 4, 1} {
+		n := cfg.N / div
+		if n == 0 {
+			continue
+		}
+		var visited, removed uint64
+		secs, samples := measure(cfg.Repeat, func() time.Duration {
+			// Build and fill outside the timed window: the scenario times
+			// the sweep, not the inserts. Every entry is stored already
+			// expired (epoch deadline), so the first full cycle must
+			// collect all n.
+			c := cache.New[uint64, uint64](growt.WithSweepInterval(-1))
+			for k := uint64(1); k <= n; k++ {
+				c.SetExpiry(k, k, 1)
+			}
+			before := c.Stats()
+			t0 := time.Now()
+			for c.Stats().Expired-before.Expired < n {
+				if c.SweepOnce(sweepBatch) == 0 && c.Len() == 0 {
+					break
+				}
+			}
+			elapsed := time.Since(t0)
+			after := c.Stats()
+			visited = after.SweepVisited - before.SweepVisited
+			removed = after.Expired - before.Expired
+			c.Close()
+			return elapsed
+		})
+		r := Result{Exp: "sweep", Table: "cache", Threads: 1, Param: float64(n),
+			MOps: float64(n) / secs / 1e6, Seconds: secs, Samples: samples,
+			Extra: fmt.Sprintf("visited=%d removed=%d visits/entry=%.2f",
+				visited, removed, float64(visited)/float64(n))}
+		r.print(cfg.Out, "%.0f")
+		results = append(results, r)
+	}
+	return results
+}

@@ -12,9 +12,10 @@
 //     tombstones it via CompareAndDelete and reports a miss — an expired
 //     value is never returned, even against a racing overwrite (the
 //     conditional delete removes exactly the expired item or nothing);
-//   - proactively by an incremental background sweeper that walks Range
-//     from a roving cursor, examining at most its batch of entries per
-//     tick (see Costs and deferrals for the skip-walk price).
+//   - proactively by an incremental background sweeper that resumes a
+//     RangeFrom cursor each tick, examining at most its batch of
+//     entries, so a full cycle over n entries does O(n) callback work
+//     (the cursor eliminates the former restart-from-zero skip-walk).
 //
 // Bounded memory is Redis-style sampled approximate-LRU: writes record
 // their key in a lock-free sample ring; when ApproxSize exceeds the
@@ -24,29 +25,43 @@
 // delete sees a different item), so eviction can never lose a fresh
 // write.
 //
+// Two access disciplines are offered, mirroring the typed map's. The
+// Cache's own methods are handle-free: each op borrows a pooled map
+// handle for its duration. A Session (NewSession/Close) pins one pooled
+// handle for its lifetime and mirrors every Cache operation on it — the
+// right shape for a connection or worker loop, where the per-op
+// free-list hop is pure overhead. Sessions are not for concurrent use;
+// the Cache itself is.
+//
 // The cache shares the root package's functional-option vocabulary:
-// WithTTL, WithMaxEntries, and WithSweepInterval configure this layer,
-// and every other option (WithStrategy, WithCapacity, WithTSX,
-// WithHasher, ...) passes through to the underlying growt.New.
+// WithTTL, WithMaxEntries, WithMaxBytes, and WithSweepInterval
+// configure this layer, and every other option (WithStrategy,
+// WithCapacity, WithTSX, WithHasher, ...) passes through to the
+// underlying growt.New.
 //
 // # Costs and deferrals
 //
-// MaxEntries bounds the live ENTRY count, not bytes. On the generic key
-// route (named types — the route growd's byte-string keys take) evicted
-// and expired values are ordinary heap objects reclaimed by the GC; on
-// the word and string key routes, wide values live in the codec's
-// append-only arenas, whose slots are reclaimed only when the map
-// itself is collected (the paper's §5.7 deferral) — a churn-heavy
+// MaxEntries bounds the live ENTRY count; MaxBytes is an approximate
+// byte bound, converted to an entry budget by dividing through the
+// map's static per-entry cost estimate (growt.Map.EntryBytes — cell
+// words plus codec arena knowledge), so it inherits the entry budget's
+// enforcement exactly and its precision is that of the estimate. On the
+// generic key route (named types — the route growd's byte-string keys
+// take) evicted and expired values are ordinary heap objects reclaimed
+// by the GC; on the word and string key routes, wide values live in the
+// codec's append-only arenas, whose slots are reclaimed only when the
+// map itself is collected (the paper's §5.7 deferral) — a churn-heavy
 // bounded cache over those routes trades memory growth for lock
-// freedom. The sweeper collects at most its batch of entries per tick,
-// but reaching its roving cursor skips earlier Range positions with a
-// cheap callback each, so a full cycle over n entries costs O(n²/batch)
-// skip work; a resumable-cursor Range is a ROADMAP item. The eviction
-// sample ring covers min(MaxEntries rounded up, 2^22) recent writes —
-// budgets beyond that get window-LRU over the newest writes.
+// freedom. The sweeper visits at most its batch of entries per tick and
+// resumes where it stopped; a cursor invalidated by a table migration
+// restarts from the front, so a cycle spanning a migration may re-visit
+// entries (never skip stable ones). The eviction sample ring covers
+// min(budget rounded up, 2^22) recent writes — budgets beyond that get
+// window-LRU over the newest writes.
 package cache
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,9 +73,9 @@ const (
 	// defaultSweepInterval paces the background sweeper when
 	// WithSweepInterval is not given.
 	defaultSweepInterval = time.Second
-	// defaultSweepBatch bounds the entries one sweep tick examines (the
-	// cursor skip-walk makes a full cycle O(n²/batch); a bigger batch
-	// buys fewer, slightly longer ticks).
+	// defaultSweepBatch bounds the entries one sweep tick examines; the
+	// resumable cursor makes a full cycle O(n) regardless, so the batch
+	// only trades tick count against tick length.
 	defaultSweepBatch = 1024
 	// evictSamples is the Redis-style sample width: candidates examined
 	// per eviction decision.
@@ -96,6 +111,15 @@ type Stats struct {
 	Expired uint64 `json:"expired"` // entries removed because their deadline passed
 	Evicted uint64 `json:"evicted"` // live entries removed to hold the budget
 	Sweeps  uint64 `json:"sweeps"`  // completed sweeper ticks
+
+	// SweepVisited / SweepRemoved total the entries examined and
+	// collected across all sweep ticks; LastSweepVisited /
+	// LastSweepRemoved are the most recent tick alone (the per-tick
+	// gauges growd publishes).
+	SweepVisited     uint64 `json:"sweep_visited"`
+	SweepRemoved     uint64 `json:"sweep_removed"`
+	LastSweepVisited uint64 `json:"last_sweep_visited"`
+	LastSweepRemoved uint64 `json:"last_sweep_removed"`
 }
 
 // Cache is a concurrent TTL + bounded-memory cache over a typed map.
@@ -104,6 +128,10 @@ type Stats struct {
 type Cache[K comparable, V any] struct {
 	m   *growt.Map[K, *item[V]]
 	set growt.CacheSettings
+
+	// budget is the effective entry budget: MaxEntries and the
+	// entry-ized MaxBytes, whichever is tighter (0 = unbounded).
+	budget uint64
 
 	now func() int64 // clock, unix nanos; swappable for deterministic tests
 
@@ -117,12 +145,19 @@ type Cache[K comparable, V any] struct {
 	ringPos  atomic.Uint64
 	seed     atomic.Uint64 // sampling stream selector
 
-	sweepCursor atomic.Uint64 // elements already examined this Range cycle
+	// sweepCur is the resumable position the next sweep tick continues
+	// from; sweepMu serializes concurrent SweepOnce callers so the
+	// cursor advances coherently.
+	sweepMu  sync.Mutex
+	sweepCur growt.Cursor
 
 	stop      chan struct{}
 	sweepDone chan struct{}
 
 	hits, misses, expired, evicted, sweeps atomic.Uint64
+
+	sweepVisited, sweepRemoved         atomic.Uint64 // cumulative
+	lastSweepVisited, lastSweepRemoved atomic.Uint64 // most recent tick
 }
 
 // New builds a cache. Cache-layer options (WithTTL, WithMaxEntries,
@@ -141,9 +176,23 @@ func newCache[K comparable, V any](now func() int64, opts ...growt.Option) *Cach
 		set: growt.ResolveCacheSettings(opts...),
 		now: now,
 	}
-	if c.set.MaxEntries > 0 {
+	c.budget = c.set.MaxEntries
+	if c.set.MaxBytes > 0 {
+		per := c.m.EntryBytes()
+		if per == 0 {
+			per = 1
+		}
+		byBytes := c.set.MaxBytes / per
+		if byBytes == 0 {
+			byBytes = 1 // a nonzero byte budget must still bound the cache
+		}
+		if c.budget == 0 || byBytes < c.budget {
+			c.budget = byBytes
+		}
+	}
+	if c.budget > 0 {
 		size := uint64(minRing)
-		for size < c.set.MaxEntries && size < maxRing {
+		for size < c.budget && size < maxRing {
 			size <<= 1
 		}
 		c.ring = make([]atomic.Pointer[K], size)
@@ -175,13 +224,21 @@ func (c *Cache[K, V]) Close() {
 // Stats snapshots the counters.
 func (c *Cache[K, V]) Stats() Stats {
 	return Stats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Expired: c.expired.Load(),
-		Evicted: c.evicted.Load(),
-		Sweeps:  c.sweeps.Load(),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Expired:          c.expired.Load(),
+		Evicted:          c.evicted.Load(),
+		Sweeps:           c.sweeps.Load(),
+		SweepVisited:     c.sweepVisited.Load(),
+		SweepRemoved:     c.sweepRemoved.Load(),
+		LastSweepVisited: c.lastSweepVisited.Load(),
+		LastSweepRemoved: c.lastSweepRemoved.Load(),
 	}
 }
+
+// PoolBorrows counts the underlying map's handle-pool borrows (see
+// growt.Map.PoolBorrows); tests use it to assert session discipline.
+func (c *Cache[K, V]) PoolBorrows() uint64 { return c.m.PoolBorrows() }
 
 // Len estimates the number of stored entries (live + not-yet-collected
 // expired), via the map's §5.2 size estimator.
@@ -207,28 +264,46 @@ func newItem[V any](v V, now int64, ttl time.Duration) *item[V] {
 	return it
 }
 
+// view is the slice of the typed map's surface the cache operates
+// through: both *growt.Map (handle-free, one pool borrow per op) and
+// *growt.Session (one pinned handle) satisfy it at [K, *item[V]].
+// Every operation core below is written against a view, so the public
+// Cache methods and the Session methods share one implementation.
+type view[K comparable, V any] interface {
+	Load(k K) (*item[V], bool)
+	Store(k K, it *item[V])
+	Compute(k K, d *item[V], up func(cur, d *item[V]) *item[V]) bool
+	Update(k K, d *item[V], up func(cur, d *item[V]) *item[V]) bool
+	Delete(k K) bool
+	LoadAndDelete(k K) (*item[V], bool)
+	CompareAndSwap(k K, old, new *item[V]) bool
+	CompareAndDelete(k K, old *item[V]) bool
+}
+
 // collect removes the expired item it from k if it is still the stored
 // entry — the lazy half of expiry. The conditional delete is what makes
 // the race against writers safe: if anything replaced it, the delete
 // refuses and the replacement survives untouched.
-func (c *Cache[K, V]) collect(k K, it *item[V]) {
-	if c.m.CompareAndDelete(k, it) {
+func (c *Cache[K, V]) collect(v view[K, V], k K, it *item[V]) {
+	if v.CompareAndDelete(k, it) {
 		c.expired.Add(1)
 	}
 }
 
 // Get returns the live value at k. An expired entry is never returned:
 // it reads as a miss and is collected in passing.
-func (c *Cache[K, V]) Get(k K) (V, bool) {
+func (c *Cache[K, V]) Get(k K) (V, bool) { return c.get(c.m, k) }
+
+func (c *Cache[K, V]) get(v view[K, V], k K) (V, bool) {
 	now := c.now()
-	it, ok := c.m.Load(k)
+	it, ok := v.Load(k)
 	if !ok {
 		c.misses.Add(1)
 		var zv V
 		return zv, false
 	}
 	if dead(it, now) {
-		c.collect(k, it)
+		c.collect(v, k, it)
 		c.misses.Add(1)
 		var zv V
 		return zv, false
@@ -244,10 +319,12 @@ func (c *Cache[K, V]) Set(k K, v V) { c.SetTTL(k, v, c.set.TTL) }
 
 // SetTTL stores ⟨k,v⟩ with an explicit time-to-live (ttl <= 0 =
 // immortal), replacing any previous entry and deadline.
-func (c *Cache[K, V]) SetTTL(k K, v V, ttl time.Duration) {
+func (c *Cache[K, V]) SetTTL(k K, v V, ttl time.Duration) { c.setTTL(c.m, k, v, ttl) }
+
+func (c *Cache[K, V]) setTTL(v view[K, V], k K, val V, ttl time.Duration) {
 	now := c.now()
-	c.m.Store(k, newItem(v, now, ttl))
-	c.noteWrite(k, now)
+	v.Store(k, newItem(val, now, ttl))
+	c.noteWrite(v, k, now)
 }
 
 // SetExpiry stores ⟨k,v⟩ with an absolute expiry deadline (zero =
@@ -255,12 +332,14 @@ func (c *Cache[K, V]) SetTTL(k K, v V, ttl time.Duration) {
 // an upstream's Expires header. at is unix nanoseconds on the cache's
 // clock; a deadline already in the past stores an entry that is born
 // expired (never observable).
-func (c *Cache[K, V]) SetExpiry(k K, v V, at int64) {
+func (c *Cache[K, V]) SetExpiry(k K, v V, at int64) { c.setExpiry(c.m, k, v, at) }
+
+func (c *Cache[K, V]) setExpiry(v view[K, V], k K, val V, at int64) {
 	now := c.now()
-	it := &item[V]{val: v, expiry: at}
+	it := &item[V]{val: val, expiry: at}
 	it.access.Store(now)
-	c.m.Store(k, it)
-	c.noteWrite(k, now)
+	v.Store(k, it)
+	c.noteWrite(v, k, now)
 }
 
 // Compute inserts ⟨k,d⟩ if k is absent or expired — stamping the
@@ -271,10 +350,14 @@ func (c *Cache[K, V]) SetExpiry(k K, v V, at int64) {
 // several times under contention; the map applies exactly its final
 // invocation.
 func (c *Cache[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
+	return c.compute(c.m, k, d, up)
+}
+
+func (c *Cache[K, V]) compute(v view[K, V], k K, d V, up func(cur, d V) V) bool {
 	now := c.now()
 	fresh := newItem(d, now, c.set.TTL)
 	revived := false
-	inserted := c.m.Compute(k, fresh, func(cur, _ *item[V]) *item[V] {
+	inserted := v.Compute(k, fresh, func(cur, _ *item[V]) *item[V] {
 		if dead(cur, now) {
 			revived = true
 			return fresh
@@ -284,7 +367,7 @@ func (c *Cache[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
 		ni.access.Store(now)
 		return ni
 	})
-	c.noteWrite(k, now)
+	c.noteWrite(v, k, now)
 	return inserted || revived
 }
 
@@ -294,6 +377,10 @@ func (c *Cache[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
 // its deadline. found distinguishes a value mismatch (found=true) from
 // an absent-or-expired key (found=false).
 func (c *Cache[K, V]) CompareAndSwap(k K, old, new V) (swapped, found bool) {
+	return c.compareAndSwap(c.m, k, old, new)
+}
+
+func (c *Cache[K, V]) compareAndSwap(v view[K, V], k K, old, new V) (swapped, found bool) {
 	_ = any(old) == any(old) // documented uncomparable-value panic
 	now := c.now()
 	// Steady-refusal fast path: decide absent/expired/mismatch from a
@@ -302,12 +389,12 @@ func (c *Cache[K, V]) CompareAndSwap(k K, old, new V) (swapped, found bool) {
 	// backend — one arena slot per refusal — so a hot mismatch loop must
 	// not reach the closure at all. The authoritative verdict for a
 	// *successful* swap remains the Update CAS below.
-	it, ok := c.m.Load(k)
+	it, ok := v.Load(k)
 	if !ok {
 		return false, false
 	}
 	if dead(it, now) {
-		c.collect(k, it)
+		c.collect(v, k, it)
 		return false, false
 	}
 	if any(it.val) != any(old) {
@@ -315,7 +402,7 @@ func (c *Cache[K, V]) CompareAndSwap(k K, old, new V) (swapped, found bool) {
 	}
 	var expiredIt *item[V]
 	matched := false
-	applied := c.m.Update(k, nil, func(cur, _ *item[V]) *item[V] {
+	applied := v.Update(k, nil, func(cur, _ *item[V]) *item[V] {
 		if dead(cur, now) {
 			expiredIt, matched = cur, false
 			return cur
@@ -331,7 +418,7 @@ func (c *Cache[K, V]) CompareAndSwap(k K, old, new V) (swapped, found bool) {
 		return ni
 	})
 	if expiredIt != nil {
-		c.collect(k, expiredIt)
+		c.collect(v, k, expiredIt)
 	}
 	// Both conditions required, like the facade's casViaUpdate: the map
 	// reports applied=false when its CAS lost to a concurrent delete
@@ -339,28 +426,64 @@ func (c *Cache[K, V]) CompareAndSwap(k K, old, new V) (swapped, found bool) {
 	swapped = applied && matched
 	found = applied && expiredIt == nil
 	if swapped {
-		c.noteWrite(k, now)
+		c.noteWrite(v, k, now)
 	}
 	return swapped, found
+}
+
+// CompareAndDelete removes k iff its live value is currently old
+// (compared with ==, like CompareAndSwap — old must be of a comparable
+// dynamic type or this panics). found distinguishes a value mismatch
+// (found=true) from an absent-or-expired key (found=false). The verdict
+// and the removal are one conditional delete on the stored item, so a
+// concurrent overwrite between them survives untouched.
+func (c *Cache[K, V]) CompareAndDelete(k K, old V) (deleted, found bool) {
+	return c.compareAndDelete(c.m, k, old)
+}
+
+func (c *Cache[K, V]) compareAndDelete(v view[K, V], k K, old V) (deleted, found bool) {
+	_ = any(old) == any(old) // documented uncomparable-value panic
+	now := c.now()
+	for {
+		it, ok := v.Load(k)
+		if !ok {
+			return false, false
+		}
+		if dead(it, now) {
+			c.collect(v, k, it)
+			return false, false
+		}
+		if any(it.val) != any(old) {
+			return false, true
+		}
+		// The item pointer is the entry's version: deleting exactly it
+		// removes exactly the value that compared equal.
+		if v.CompareAndDelete(k, it) {
+			return true, true
+		}
+		// The entry changed underneath; re-examine the replacement.
+	}
 }
 
 // Expire re-deadlines the live entry at k to now+ttl (ttl <= 0 =
 // immortal). Returns false when k is absent or already expired — an
 // expired entry cannot be revived by Expire, only by a write.
-func (c *Cache[K, V]) Expire(k K, ttl time.Duration) bool {
+func (c *Cache[K, V]) Expire(k K, ttl time.Duration) bool { return c.expire(c.m, k, ttl) }
+
+func (c *Cache[K, V]) expire(v view[K, V], k K, ttl time.Duration) bool {
 	now := c.now()
 	// Same steady-refusal fast path as CompareAndSwap: absent and
 	// expired keys must not reach the re-encoding Update closure.
-	it, ok := c.m.Load(k)
+	it, ok := v.Load(k)
 	if !ok {
 		return false
 	}
 	if dead(it, now) {
-		c.collect(k, it)
+		c.collect(v, k, it)
 		return false
 	}
 	var expiredIt *item[V]
-	applied := c.m.Update(k, nil, func(cur, _ *item[V]) *item[V] {
+	applied := v.Update(k, nil, func(cur, _ *item[V]) *item[V] {
 		if dead(cur, now) {
 			expiredIt = cur
 			return cur
@@ -371,7 +494,7 @@ func (c *Cache[K, V]) Expire(k K, ttl time.Duration) bool {
 		return ni
 	})
 	if expiredIt != nil {
-		c.collect(k, expiredIt)
+		c.collect(v, k, expiredIt)
 	}
 	return applied && expiredIt == nil
 }
@@ -379,14 +502,16 @@ func (c *Cache[K, V]) Expire(k K, ttl time.Duration) bool {
 // TTL returns the remaining time-to-live of the live entry at k.
 // ok is false when k is absent or expired; a live immortal entry
 // reports d < 0.
-func (c *Cache[K, V]) TTL(k K) (d time.Duration, ok bool) {
+func (c *Cache[K, V]) TTL(k K) (d time.Duration, ok bool) { return c.ttl(c.m, k) }
+
+func (c *Cache[K, V]) ttl(v view[K, V], k K) (d time.Duration, ok bool) {
 	now := c.now()
-	it, found := c.m.Load(k)
+	it, found := v.Load(k)
 	if !found {
 		return 0, false
 	}
 	if dead(it, now) {
-		c.collect(k, it)
+		c.collect(v, k, it)
 		return 0, false
 	}
 	if it.expiry == 0 {
@@ -396,8 +521,10 @@ func (c *Cache[K, V]) TTL(k K) (d time.Duration, ok bool) {
 }
 
 // Delete removes k; true iff a live (non-expired) entry was removed.
-func (c *Cache[K, V]) Delete(k K) bool {
-	it, ok := c.m.LoadAndDelete(k)
+func (c *Cache[K, V]) Delete(k K) bool { return c.del(c.m, k) }
+
+func (c *Cache[K, V]) del(v view[K, V], k K) bool {
+	it, ok := v.LoadAndDelete(k)
 	if !ok {
 		return false
 	}
@@ -426,26 +553,26 @@ func (c *Cache[K, V]) Range(fn func(k K, v V) bool) {
 
 // noteWrite records k in the sample ring and enforces the entry budget.
 // Called after every write that can grow the cache.
-func (c *Cache[K, V]) noteWrite(k K, now int64) {
+func (c *Cache[K, V]) noteWrite(v view[K, V], k K, now int64) {
 	if c.ring == nil {
 		return
 	}
 	kp := new(K)
 	*kp = k
 	c.ring[c.ringPos.Add(1)&c.ringMask].Store(kp)
-	c.enforceBudget(now)
+	c.enforceBudget(v, now)
 }
 
 // enforceBudget evicts sampled-LRU entries while the cache is over its
 // entry budget, bounded per call so a single write never stalls on a
 // long purge (the sweeper keeps enforcing in the background).
-func (c *Cache[K, V]) enforceBudget(now int64) {
-	max := c.set.MaxEntries
+func (c *Cache[K, V]) enforceBudget(v view[K, V], now int64) {
+	max := c.budget
 	if max == 0 {
 		return
 	}
 	for tries := 0; tries < maxEvictPerWrite && c.m.ApproxSize() > max; tries++ {
-		c.evictOne(now)
+		c.evictOne(v, now)
 	}
 }
 
@@ -455,7 +582,7 @@ func (c *Cache[K, V]) enforceBudget(now int64) {
 // delete makes the decision safe: a candidate overwritten since
 // sampling is a different item and survives. Returns true if an entry
 // was removed.
-func (c *Cache[K, V]) evictOne(now int64) bool {
+func (c *Cache[K, V]) evictOne(v view[K, V], now int64) bool {
 	// Seeds advance by 1, NOT by splitmix's own golden-ratio increment:
 	// a gamma-stride seed would make call n+1's probe sequence call n's
 	// shifted by one, so every eviction re-probes the same slots. Unit
@@ -469,12 +596,12 @@ func (c *Cache[K, V]) evictOne(now int64) bool {
 		if kp == nil {
 			continue
 		}
-		it, ok := c.m.Load(*kp)
+		it, ok := v.Load(*kp)
 		if !ok {
 			continue
 		}
 		if dead(it, now) {
-			if c.m.CompareAndDelete(*kp, it) {
+			if v.CompareAndDelete(*kp, it) {
 				c.expired.Add(1)
 				return true
 			}
@@ -488,7 +615,7 @@ func (c *Cache[K, V]) evictOne(now int64) bool {
 	if bestIt == nil {
 		return false
 	}
-	if c.m.CompareAndDelete(bestK, bestIt) {
+	if v.CompareAndDelete(bestK, bestIt) {
 		c.evicted.Add(1)
 		return true
 	}
@@ -498,9 +625,13 @@ func (c *Cache[K, V]) evictOne(now int64) bool {
 // ---------------------------------------------------------------------
 // Proactive expiry: the incremental background sweeper.
 
-// sweepLoop ticks SweepOnce until Close.
+// sweepLoop ticks SweepOnce until Close. It holds one cache Session for
+// its whole life — the sweeper's conditional deletes ride a pinned
+// handle instead of borrowing from the pool every tick.
 func (c *Cache[K, V]) sweepLoop(every time.Duration) {
 	defer close(c.sweepDone)
+	s := c.NewSession()
+	defer s.Close()
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -508,45 +639,116 @@ func (c *Cache[K, V]) sweepLoop(every time.Duration) {
 		case <-c.stop:
 			return
 		case <-t.C:
-			c.SweepOnce(defaultSweepBatch)
+			c.sweepOnce(s.v, defaultSweepBatch)
 		}
 	}
 }
 
-// SweepOnce examines one bounded slice of the table from the sweeper's
-// roving cursor, collecting expired entries, then enforces the entry
-// budget. Exported so tests (and callers without a background sweeper)
-// can drive expiry deterministically. Returns the number of entries
-// removed. Concurrent writers may be partially observed — the walk is
-// best-effort; correctness is carried by the lazy read path.
-func (c *Cache[K, V]) SweepOnce(budget int) int {
+// SweepOnce examines at most budget entries, resuming the cursor where
+// the previous tick stopped, collecting expired entries, then enforces
+// the entry budget. Exported so tests (and callers without a background
+// sweeper) can drive expiry deterministically. Returns the number of
+// entries removed. A full cycle over n entries costs O(n) callback work
+// — the cursor resumes instead of re-skipping the prefix. Concurrent
+// writers may be partially observed — the walk is best-effort;
+// correctness is carried by the lazy read path.
+func (c *Cache[K, V]) SweepOnce(budget int) int { return c.sweepOnce(c.m, budget) }
+
+func (c *Cache[K, V]) sweepOnce(v view[K, V], budget int) int {
 	now := c.now()
-	skip := c.sweepCursor.Load()
-	var visited, seen uint64
+	seen := 0
 	removed := 0
-	c.m.Range(func(k K, it *item[V]) bool {
-		if visited < skip {
-			visited++
-			return true
-		}
+	c.sweepMu.Lock()
+	next, _ := c.m.RangeFrom(c.sweepCur, func(k K, it *item[V]) bool {
 		seen++
 		if dead(it, now) {
-			if c.m.CompareAndDelete(k, it) {
+			if v.CompareAndDelete(k, it) {
 				c.expired.Add(1)
 				removed++
 			}
 		}
-		return seen < uint64(budget)
+		return seen < budget
 	})
-	if seen < uint64(budget) {
-		// Range exhausted: next tick restarts from the front.
-		c.sweepCursor.Store(0)
-	} else {
-		// Removed entries no longer occupy Range positions; advancing by
-		// the survivors keeps the cursor from drifting past unseen tail.
-		c.sweepCursor.Store(skip + seen - uint64(removed))
-	}
-	c.enforceBudget(now)
+	c.sweepCur = next
+	c.sweepMu.Unlock()
+	c.sweepVisited.Add(uint64(seen))
+	c.sweepRemoved.Add(uint64(removed))
+	c.lastSweepVisited.Store(uint64(seen))
+	c.lastSweepRemoved.Store(uint64(removed))
+	c.enforceBudget(v, now)
 	c.sweeps.Add(1)
 	return removed
 }
+
+// ---------------------------------------------------------------------
+// Session: a pinned-handle view of the cache.
+
+// Session is a pinned-handle view of a Cache: it borrows one pooled map
+// handle at creation and reuses it for every operation until Close,
+// mirroring the whole Cache surface without the per-op free-list hop.
+// Like the map sessions it wraps, a Session must not be used
+// concurrently — create one per connection or worker loop and Close it
+// when done. Operations on a closed Session panic.
+type Session[K comparable, V any] struct {
+	c *Cache[K, V]
+	v *growt.Session[K, *item[V]]
+}
+
+// NewSession pins one pooled map handle into a Session view. Callers
+// own the release: every path must Close the Session (growvet's
+// handleleak analyzer enforces the shape for in-package callers).
+//
+//growt:acquires Close
+//growt:exclusive -- ownership transfer: the pinned map session is released by Session.Close, not here
+func (c *Cache[K, V]) NewSession() *Session[K, V] {
+	return &Session[K, V]{c: c, v: c.m.Session()}
+}
+
+// Close releases the pinned handle back to the map's free list. Close
+// is idempotent; the Session is unusable afterwards.
+func (s *Session[K, V]) Close() { s.v.Close() }
+
+// Get returns the live value at k (see Cache.Get).
+func (s *Session[K, V]) Get(k K) (V, bool) { return s.c.get(s.v, k) }
+
+// Set stores ⟨k,v⟩ with the cache's default TTL (see Cache.Set).
+func (s *Session[K, V]) Set(k K, v V) { s.SetTTL(k, v, s.c.set.TTL) }
+
+// SetTTL stores ⟨k,v⟩ with an explicit time-to-live (see Cache.SetTTL).
+func (s *Session[K, V]) SetTTL(k K, v V, ttl time.Duration) { s.c.setTTL(s.v, k, v, ttl) }
+
+// SetExpiry stores ⟨k,v⟩ with an absolute expiry deadline (see
+// Cache.SetExpiry).
+func (s *Session[K, V]) SetExpiry(k K, v V, at int64) { s.c.setExpiry(s.v, k, v, at) }
+
+// Compute inserts or atomically updates k (see Cache.Compute).
+func (s *Session[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
+	return s.c.compute(s.v, k, d, up)
+}
+
+// CompareAndSwap replaces the live value of k with new iff it is
+// currently old (see Cache.CompareAndSwap).
+func (s *Session[K, V]) CompareAndSwap(k K, old, new V) (swapped, found bool) {
+	return s.c.compareAndSwap(s.v, k, old, new)
+}
+
+// CompareAndDelete removes k iff its live value is currently old (see
+// Cache.CompareAndDelete).
+func (s *Session[K, V]) CompareAndDelete(k K, old V) (deleted, found bool) {
+	return s.c.compareAndDelete(s.v, k, old)
+}
+
+// Expire re-deadlines the live entry at k (see Cache.Expire).
+func (s *Session[K, V]) Expire(k K, ttl time.Duration) bool { return s.c.expire(s.v, k, ttl) }
+
+// TTL returns the remaining time-to-live of the live entry at k (see
+// Cache.TTL).
+func (s *Session[K, V]) TTL(k K) (d time.Duration, ok bool) { return s.c.ttl(s.v, k) }
+
+// Delete removes k (see Cache.Delete).
+func (s *Session[K, V]) Delete(k K) bool { return s.c.del(s.v, k) }
+
+// Len reports the cache's approximate live element count (see
+// Cache.Len). Size estimation is handle-free, so this neither uses nor
+// needs the session's pinned handle.
+func (s *Session[K, V]) Len() uint64 { return s.c.Len() }

@@ -131,7 +131,7 @@ func TestStaleCollectNeverResurrectsOrKills(t *testing.T) {
 	clk.advance(time.Hour) // "old" is long expired
 	c.SetTTL(1, "fresh", 0)
 
-	c.collect(1, stale) // the stalled sweeper finally fires
+	c.collect(c.m, 1, stale) // the stalled sweeper finally fires
 	if v, okg := c.Get(1); !okg || v != "fresh" {
 		t.Fatalf("stale collect disturbed the fresh entry: %q, %v", v, okg)
 	}
@@ -144,7 +144,7 @@ func TestStaleCollectNeverResurrectsOrKills(t *testing.T) {
 	c.SetTTL(2, "old", 10*time.Millisecond)
 	it2, _ := c.m.Load(2)
 	clk.advance(time.Hour)
-	c.collect(2, it2)
+	c.collect(c.m, 2, it2)
 	if _, okg := c.m.Load(2); okg {
 		t.Fatal("expired entry survived its collect")
 	}

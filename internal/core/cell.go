@@ -133,6 +133,7 @@ type Table struct {
 	shift    uint // index = hash >> shift (scaled mapping, §5.3.1)
 	logCap   uint
 	probeCap uint64 // min(capacity, longProbeLimit)
+	gen      uint64 // process-unique generation id for resumable cursors
 
 	// c is this generation's approximate element count (§5.2), owned by
 	// the Grow wrapper. Counters live per generation — not on Grow — so a
@@ -165,9 +166,15 @@ func NewTable(capacity uint64) *Table {
 		shift:    64 - logCap,
 		logCap:   logCap,
 		probeCap: min(capacity, longProbeLimit),
+		gen:      tableGen.Add(1),
 	}
 	return t
 }
+
+// tableGen hands every Table a process-unique, nonzero generation id, so
+// a tables.Cursor can detect that the generation it was taken against has
+// been retired by a migration (id 0 is reserved for "no cursor").
+var tableGen atomic.Uint64
 
 func min(a, b uint64) uint64 {
 	if a < b {
@@ -633,6 +640,30 @@ func (t *Table) rangeCore(f func(k, v uint64) bool) {
 			return
 		}
 	}
+}
+
+// rangeFromCore resumes rangeCore at slot pos. It returns the slot to
+// resume from next and whether the walk reached the end of the cell
+// array (in which case the returned position restarts at zero).
+// Quiescent use only, like rangeCore.
+func (t *Table) rangeFromCore(pos uint64, f func(k, v uint64) bool) (uint64, bool) {
+	for i := pos; i < t.capacity; i++ {
+		kw := t.loadKey(i)
+		if kw == 0 || kw&pendingBit != 0 {
+			continue
+		}
+		v := t.loadVal(i)
+		if v&liveBit == 0 {
+			continue
+		}
+		if !f(kw, v&valueMask) {
+			if i+1 >= t.capacity {
+				return 0, true
+			}
+			return i + 1, false
+		}
+	}
+	return 0, true
 }
 
 // countLive scans the table counting live elements (exact size in absence

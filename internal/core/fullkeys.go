@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/tables"
@@ -108,6 +109,88 @@ func (f *FullKeys) Range(fn func(k, v uint64) bool) {
 }
 
 var _ tables.Ranger = (*FullKeys)(nil)
+
+// fkSegShift packs the walk phase into the top two bits of Cursor.Pos:
+// 0 = t0, 1 = t1, 2 = the special slots. The low 62 bits are the
+// phase's own resumable position (a slot index, far below 2^62).
+const fkSegShift = 62
+
+// rangeSeg walks one subtable phase from inner, widening stored keys
+// with the given bit. It reports where to resume, whether fn stopped
+// the walk, and whether the phase was exhausted. A subtable without
+// CursorRanger support degrades to restart-at-phase-start on an early
+// stop: re-visits are possible, skips are not.
+func rangeSeg(sub tables.Interface, inner tables.Cursor, widen uint64, fn func(k, v uint64) bool) (next tables.Cursor, stopped, wrapped bool) {
+	wrap := func(k, v uint64) bool {
+		if !fn(k|widen, v) {
+			stopped = true
+		}
+		return !stopped
+	}
+	if cr, ok := sub.(tables.CursorRanger); ok {
+		next, wrapped = cr.RangeFrom(inner, wrap)
+		return next, stopped, wrapped
+	}
+	if r, ok := sub.(tables.Ranger); ok {
+		r.Range(wrap)
+	}
+	return tables.Cursor{}, stopped, !stopped
+}
+
+// RangeFrom resumes the three-phase walk of Range from cur
+// (tables.CursorRanger; quiescent use only). The special slots are
+// snapshotted and walked in ascending key order so their positions are
+// deterministic across calls.
+func (f *FullKeys) RangeFrom(cur tables.Cursor, fn func(k, v uint64) bool) (tables.Cursor, bool) {
+	seg := cur.Pos >> fkSegShift
+	inner := tables.Cursor{Gen: cur.Gen, Pos: cur.Pos & (1<<fkSegShift - 1)}
+	if seg > 2 {
+		seg, inner = 0, tables.Cursor{}
+	}
+
+	if seg == 0 {
+		next, stopped, wrapped := rangeSeg(f.t0, inner, 0, fn)
+		switch {
+		case stopped && wrapped:
+			return tables.Cursor{Pos: 1 << fkSegShift}, false
+		case stopped:
+			return next, false
+		}
+		seg, inner = 1, tables.Cursor{}
+	}
+	if seg == 1 {
+		next, stopped, wrapped := rangeSeg(f.t1, inner, fullTopBit, fn)
+		switch {
+		case stopped && wrapped:
+			return tables.Cursor{Pos: 2 << fkSegShift}, false
+		case stopped:
+			return tables.Cursor{Gen: next.Gen, Pos: next.Pos | 1<<fkSegShift}, false
+		}
+		inner = tables.Cursor{}
+	}
+
+	// Phase 2: the ≤4 special slots, snapshotted like Range does so fn
+	// may mutate them without self-deadlock.
+	f.mu.RLock()
+	type kv struct{ k, v uint64 }
+	snap := make([]kv, 0, len(f.special))
+	for k, v := range f.special {
+		snap = append(snap, kv{k, v})
+	}
+	f.mu.RUnlock()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].k < snap[j].k })
+	for i := inner.Pos; i < uint64(len(snap)); i++ {
+		if !fn(snap[i].k, snap[i].v) {
+			if i+1 >= uint64(len(snap)) {
+				return tables.Cursor{}, true
+			}
+			return tables.Cursor{Pos: 2<<fkSegShift | (i + 1)}, false
+		}
+	}
+	return tables.Cursor{}, true
+}
+
+var _ tables.CursorRanger = (*FullKeys)(nil)
 
 // Close closes the subtables if they own resources.
 func (f *FullKeys) Close() {

@@ -62,6 +62,8 @@ func FuzzDecodeRequest(f *testing.F) {
 	st := NewStore()
 	f.Cleanup(func() { st.Close() })
 	srv := New(st, Options{})
+	cs := st.C.NewSession()
+	f.Cleanup(cs.Close)
 
 	add := func(fr []byte) {
 		id := binary.BigEndian.Uint64(fr[4:])
@@ -82,7 +84,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(uint64(12), OpPing, []byte{0xAA})
 
 	f.Fuzz(func(t *testing.T, id uint64, kind byte, reqBody []byte) {
-		frame, _ := srv.exec(nil, id, kind, reqBody)
+		frame, _ := srv.exec(cs, nil, id, kind, reqBody)
 		rid, status, _, _, err := ReadFrame(bytes.NewReader(frame), DefaultMaxFrame, nil)
 		if err != nil {
 			t.Fatalf("exec produced an unreadable frame (%v): %x", err, frame)

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/cache"
 )
 
 // Options tunes a Server. The zero value is ready to use.
@@ -63,6 +65,17 @@ type Stats struct {
 	Misses  uint64 `json:"misses"`
 	Expired uint64 `json:"expired"`
 	Evicted uint64 `json:"evicted"`
+
+	// Sweeper gauges, also sourced from the cache layer: the cumulative
+	// entry visit/removal counts of the background expiry sweeper plus
+	// the per-tick figures of its most recent pass. A healthy cursor
+	// sweeper visits each entry about once per full cycle — visited
+	// growing quadratically in the table size is the bug these exist to
+	// catch.
+	SweepVisited     uint64 `json:"sweep_visited"`
+	SweepRemoved     uint64 `json:"sweep_removed"`
+	LastSweepVisited uint64 `json:"last_sweep_visited"`
+	LastSweepRemoved uint64 `json:"last_sweep_removed"`
 }
 
 type counters struct {
@@ -137,6 +150,11 @@ func (s *Server) Stats() Stats {
 		Misses:        cs.Misses,
 		Expired:       cs.Expired,
 		Evicted:       cs.Evicted,
+
+		SweepVisited:     cs.SweepVisited,
+		SweepRemoved:     cs.SweepRemoved,
+		LastSweepVisited: cs.LastSweepVisited,
+		LastSweepRemoved: cs.LastSweepRemoved,
 	}
 }
 
@@ -275,9 +293,15 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan []byte, done chan<- struct{
 }
 
 // readLoop parses and executes the request pipeline in order. It owns
-// the out channel and always closes it on exit.
+// the out channel and always closes it on exit. The cache session is
+// per-connection: one pooled map handle is pinned here for the
+// connection's whole life, so the ops executed below never touch the
+// handle pool — the pre-session design paid an acquire/release channel
+// hop on every single operation.
 func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}) {
 	defer close(out)
+	cs := s.st.C.NewSession()
+	defer cs.Close()
 	br := bufio.NewReaderSize(conn, s.opt.ReadBuffer)
 	var frameBuf []byte // ReadFrame scratch, reused across frames
 	for {
@@ -294,7 +318,7 @@ func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}
 		}
 		// Each response frame is freshly allocated: ownership moves to the
 		// writer goroutine at the send.
-		resp, fatal := s.exec(nil, id, kind, reqBody)
+		resp, fatal := s.exec(cs, nil, id, kind, reqBody)
 		if !s.trySend(out, done, resp) {
 			return
 		}
@@ -324,16 +348,20 @@ func errFrame(dst []byte, id uint64, msg string) []byte {
 	return EndFrame(dst, start)
 }
 
-// exec executes one decoded request and returns the encoded response
-// frame. fatal marks protocol-level failures (unknown opcode, body that
-// does not parse) after which the connection must close; operation
-// failures (absent key, CAS mismatch, non-counter INCR target) are
-// ordinary statuses and keep the session alive.
+// exec executes one decoded request against the connection's cache
+// session and returns the encoded response frame. fatal marks
+// protocol-level failures (unknown opcode, body that does not parse)
+// after which the connection must close; operation failures (absent
+// key, CAS mismatch, non-counter INCR target) are ordinary statuses and
+// keep the session alive.
+//
+// c is the per-connection session created by readLoop: every cache op
+// below reuses its pinned map handle, so the hot path performs zero
+// handle-pool acquires per request.
 //
 //growt:wire dispatch opcode
-func (s *Server) exec(dst []byte, id uint64, kind byte, reqBody []byte) (frame []byte, fatal bool) {
+func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind byte, reqBody []byte) (frame []byte, fatal bool) {
 	s.c.ops.Add(1)
-	c := s.st.C
 	p := body{b: reqBody}
 	start := len(dst)
 	switch kind {

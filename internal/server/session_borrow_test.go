@@ -1,0 +1,95 @@
+package server
+
+// Pins the session redesign's acceptance criterion: the exec hot path
+// performs zero handle-pool acquires per operation. A connection costs
+// exactly one borrow — the Session pinned for its whole life — and the
+// per-op acquire/release channel hop of the pre-session design is gone.
+// Map.PoolBorrows counts every pool acquire, so a regression that
+// sneaks a handle-free cache call back into the dispatch path shows up
+// as a nonzero delta here.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	growt "repro"
+)
+
+// TestExecZeroPoolBorrowsPerOp drives the dispatcher directly through
+// one session across the full opcode mix and requires the pool-borrow
+// counter to stand still.
+func TestExecZeroPoolBorrowsPerOp(t *testing.T) {
+	st := NewStore(growt.WithSweepInterval(-1)) // no sweeper session muddying the counter
+	defer st.Close()
+	srv := New(st, Options{})
+	cs := st.C.NewSession()
+	defer cs.Close()
+
+	srv.exec(cs, nil, 0, OpPing, nil) // warm any lazy setup before the snapshot
+
+	base := st.C.PoolBorrows()
+	const rounds = 500
+	for i := 0; i < rounds; i++ {
+		set := append(AppendBytes(nil, []byte("k")), AppendBytes(nil, []byte("v"))...)
+		srv.exec(cs, nil, 1, OpSet, set)
+		srv.exec(cs, nil, 2, OpGet, AppendBytes(nil, []byte("k")))
+		srv.exec(cs, nil, 3, OpIncr, append(AppendBytes(nil, []byte("ctr")), AppendUint64(nil, 1)...))
+		cas := append(AppendBytes(nil, []byte("k")), AppendBytes(nil, []byte("v"))...)
+		cas = append(cas, AppendBytes(nil, []byte("v2"))...)
+		srv.exec(cs, nil, 4, OpCAS, cas)
+		srv.exec(cs, nil, 5, OpTTL, AppendBytes(nil, []byte("k")))
+		srv.exec(cs, nil, 6, OpSize, nil)
+		srv.exec(cs, nil, 7, OpDel, AppendBytes(nil, []byte("k")))
+	}
+	if got := st.C.PoolBorrows() - base; got != 0 {
+		t.Fatalf("exec path borrowed %d pooled handles across %d ops; want 0", got, rounds*7)
+	}
+}
+
+// TestConnectionBorrowsOneHandle runs a real connection through a
+// pipelined burst and checks the whole connection cost exactly one pool
+// borrow, independent of the op count.
+func TestConnectionBorrowsOneHandle(t *testing.T) {
+	st := NewStore(growt.WithSweepInterval(-1))
+	defer st.Close()
+	srv := New(st, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	base := st.C.PoolBorrows()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const ops = 200
+	var burst []byte
+	for i := 0; i < ops; i++ {
+		burst = append(burst, fuzzFrame(uint64(i+1), OpSet, []byte("bk"), []byte("bv"))...)
+	}
+	if _, err := conn.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < ops; i++ {
+		if _, _, _, _, err := ReadFrame(conn, DefaultMaxFrame, nil); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+	}
+	if got := st.C.PoolBorrows() - base; got != 1 {
+		t.Fatalf("connection serving %d ops borrowed %d pooled handles; want exactly 1", ops, got)
+	}
+}

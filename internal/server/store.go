@@ -53,7 +53,7 @@ func (st *Store) Close() { st.C.Close() }
 // default TTL; an existing counter keeps its deadline. ok is false when
 // the key holds a live value that is not exactly 8 bytes; the value is
 // then left untouched.
-func incr(c *cache.Cache[Key, string], k Key, delta uint64) (newVal uint64, ok bool) {
+func incr(c *cache.Session[Key, string], k Key, delta uint64) (newVal uint64, ok bool) {
 	var enc [8]byte
 	binary.BigEndian.PutUint64(enc[:], delta)
 	// The closure may run several times under contention; the cache

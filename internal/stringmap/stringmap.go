@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hashfn"
+	"repro/internal/tables"
 )
 
 const (
@@ -84,9 +85,14 @@ type Map struct {
 	cells    []uint64 // interleaved key/value words
 	capacity uint64
 	shift    uint
+	gen      uint64 // process-unique id tagging resumable cursors
 	ar       arena
 	size     atomic.Int64
 }
+
+// mapGen hands every Map a process-unique nonzero generation id for
+// RangeFrom cursors (0 is reserved for "no cursor").
+var mapGen atomic.Uint64
 
 // New builds a map with capacity ≥ 2·expected (the paper's sizing rule).
 //
@@ -102,6 +108,7 @@ func New(expected uint64) *Map {
 		cells:    make([]uint64, 2*capacity),
 		capacity: capacity,
 		shift:    64 - logCap,
+		gen:      mapGen.Add(1),
 	}
 }
 
@@ -387,4 +394,32 @@ func (m *Map) Range(f func(s string, v uint64) bool) {
 			return
 		}
 	}
+}
+
+// RangeFrom resumes Range at cur (the shape of tables.CursorRanger,
+// with string keys). The map is bounded — no migrations — so the
+// generation only guards against cursors from a different Map instance;
+// a mismatch restarts from cell zero. Quiescent use only.
+func (m *Map) RangeFrom(cur tables.Cursor, f func(s string, v uint64) bool) (tables.Cursor, bool) {
+	pos := uint64(0)
+	if cur.Gen == m.gen {
+		pos = cur.Pos
+	}
+	for i := pos; i < m.capacity; i++ {
+		kw := m.loadKey(i)
+		if kw == 0 || kw&pendingBit != 0 {
+			continue
+		}
+		v := m.loadVal(i)
+		if v&liveBit == 0 {
+			continue
+		}
+		if !f(m.ar.get(kw&refMask), v&valueMask) {
+			if i+1 >= m.capacity {
+				return tables.Cursor{Gen: m.gen}, true
+			}
+			return tables.Cursor{Gen: m.gen, Pos: i + 1}, false
+		}
+	}
+	return tables.Cursor{Gen: m.gen}, true
 }

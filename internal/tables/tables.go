@@ -98,6 +98,31 @@ type Ranger interface {
 	Range(f func(k, v uint64) bool)
 }
 
+// Cursor is a resumable iteration position handed out by RangeFrom. Gen
+// identifies the table generation the position is relative to; Pos is an
+// implementation-private slot index within that generation. The zero
+// Cursor means "start from the beginning". Cursors are plain values:
+// they may be stored across calls and survive migrations — a cursor
+// whose generation has been retired restarts from position zero in the
+// live generation, so a resumed walk may re-visit keys but never skips
+// a stable one.
+type Cursor struct {
+	Gen uint64
+	Pos uint64
+}
+
+// CursorRanger is implemented by tables whose iteration can resume from
+// a Cursor instead of restarting at slot zero. Like Range, results are
+// only dependable in quiescent states.
+type CursorRanger interface {
+	// RangeFrom calls f for elements at or after cur until f returns
+	// false or the table is exhausted. It returns the cursor to resume
+	// from and whether the walk reached the end of the table (wrapped);
+	// when wrapped is true the returned cursor restarts from the
+	// beginning.
+	RangeFrom(cur Cursor, f func(k, v uint64) bool) (next Cursor, wrapped bool)
+}
+
 // MemUser is implemented by tables that report the bytes of live backing
 // memory, replacing the paper's malloc interposition in Fig. 10.
 type MemUser interface {

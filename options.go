@@ -82,6 +82,12 @@ type CacheSettings struct {
 	// picks the cache's default; negative disables proactive sweeping
 	// (expiry is then enforced lazily on read only).
 	SweepInterval time.Duration
+	// MaxBytes bounds the cache's approximate backing memory. The cache
+	// divides it by the map's static per-entry byte estimate
+	// (Map.EntryBytes) and enforces the resulting entry budget exactly
+	// like MaxEntries; when both are set the tighter budget wins. Zero
+	// means unbounded.
+	MaxBytes uint64
 }
 
 // WithTTL sets the default time-to-live for cache entries stored without
@@ -97,6 +103,15 @@ func WithTTL(d time.Duration) Option {
 // the plain typed map ignores it.
 func WithMaxEntries(n uint64) Option {
 	return func(c *config) { c.cache.MaxEntries = n }
+}
+
+// WithMaxBytes bounds the cache's approximate backing memory. The
+// budget is converted to an entry budget with the typed map's static
+// per-entry cost estimate (cell words plus codec arena knowledge, see
+// Map.EntryBytes); combined with WithMaxEntries the tighter budget
+// wins. Consumed by the cache layer; the plain typed map ignores it.
+func WithMaxBytes(n uint64) Option {
+	return func(c *config) { c.cache.MaxBytes = n }
 }
 
 // WithSweepInterval sets the tick of the cache's background expiry

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/stringmap"
@@ -44,6 +45,7 @@ type Map[K comparable, V any] struct {
 	b       backend[K, V]
 	handles chan *Handle[K, V] // free list for the handle-free methods
 	created atomic.Int64       // free-list handles made; capped at cap(handles)
+	borrows atomic.Uint64      // free-list borrows, for pool-discipline tests
 }
 
 // Handle is a goroutine-private accessor to a typed map (§5.1). Create
@@ -58,6 +60,13 @@ type backend[K comparable, V any] interface {
 	approxSize() uint64
 	close()
 	rangeAll(fn func(K, V) bool)
+	// rangeFrom resumes rangeAll at cur; tables.CursorRanger semantics
+	// (wrapped=true means the walk reached the end and the returned
+	// cursor restarts from the beginning).
+	rangeFrom(cur tables.Cursor, fn func(K, V) bool) (tables.Cursor, bool)
+	// entryBytes is a static estimate of the bytes one stored element
+	// costs (cell words plus arena space), for byte-budget sizing.
+	entryBytes() uint64
 }
 
 // backendHandle mirrors the five primitives of §4 on typed operands,
@@ -128,6 +137,30 @@ func (m *Map[K, V]) ApproxSize() uint64 { return m.b.approxSize() }
 // Range in this repository it is for quiescent use only: concurrent
 // writers may be partially observed.
 func (m *Map[K, V]) Range(fn func(k K, v V) bool) { m.b.rangeAll(fn) }
+
+// RangeFrom resumes iteration at cur, calling fn until it returns false
+// or the walk reaches the end of the table. It returns the cursor to
+// resume from and whether the walk wrapped (reached the end; the
+// returned cursor then restarts from the beginning). The zero Cursor
+// starts from the beginning. A cursor that outlives a migration
+// restarts from position zero of the live generation — a resumed walk
+// may re-visit elements but never skips a stable one. Quiescent use
+// only, like Range.
+func (m *Map[K, V]) RangeFrom(cur Cursor, fn func(k K, v V) bool) (Cursor, bool) {
+	return m.b.rangeFrom(cur, fn)
+}
+
+// EntryBytes is a static estimate of the backing bytes one stored
+// element costs — the cell words plus the codec's arena slot for
+// arena-resident values. WithMaxBytes divides its byte budget by this
+// estimate to derive an entry budget.
+func (m *Map[K, V]) EntryBytes() uint64 { return m.b.entryBytes() }
+
+// PoolBorrows counts how many times the handle-free methods borrowed a
+// pooled handle over the map's lifetime. It exists for tests asserting
+// pool discipline (a pinned Session performs exactly one borrow, not
+// one per operation).
+func (m *Map[K, V]) PoolBorrows() uint64 { return m.borrows.Load() }
 
 // Insert stores ⟨k,v⟩ if k is absent. Returns true iff this call
 // inserted the element; exactly one of several concurrent inserters of
@@ -253,6 +286,7 @@ func casViaUpdate[V any](vc *valCodec[V], old, new V, update func(func(cur, d ui
 //
 //growt:acquires release
 func (m *Map[K, V]) acquire() *Handle[K, V] {
+	m.borrows.Add(1)
 	select {
 	case h := <-m.handles:
 		return h
@@ -271,29 +305,36 @@ func (m *Map[K, V]) release(h *Handle[K, V]) {
 	m.handles <- h
 }
 
-// Load returns the value stored at k (handle-free). The release is
-// deferred: a panic in a custom hasher must not strand the pooled
-// handle.
-func (m *Map[K, V]) Load(k K) (V, bool) {
+// withHandle runs fn under a borrowed free-list handle. It is the one
+// place that owns pool discipline for the handle-free methods: the
+// release is deferred, so a panic in user code running under the handle
+// (custom hashers, update closures) cannot strand it.
+func withHandle[K comparable, V any](m *Map[K, V], fn func(h *Handle[K, V])) {
 	h := m.acquire()
 	defer m.release(h)
-	return h.Find(k)
+	fn(h)
+}
+
+// Load returns the value stored at k (handle-free).
+func (m *Map[K, V]) Load(k K) (v V, ok bool) {
+	withHandle(m, func(h *Handle[K, V]) { v, ok = h.Find(k) })
+	return
 }
 
 // Store sets the value for k, inserting or overwriting (handle-free).
-// The release is deferred: a panic in a custom hasher must not strand
-// the pooled handle.
 func (m *Map[K, V]) Store(k K, v V) {
-	h := m.acquire()
-	defer m.release(h)
-	h.InsertOrUpdate(k, v, Replace[V])
+	withHandle(m, func(h *Handle[K, V]) { h.InsertOrUpdate(k, v, Replace[V]) })
 }
 
 // LoadOrStore returns the existing value for k if present; otherwise it
 // stores and returns v. loaded is true if the value was already present.
 func (m *Map[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
-	h := m.acquire()
-	defer m.release(h)
+	withHandle(m, func(h *Handle[K, V]) { actual, loaded = loadOrStore(h, k, v) })
+	return
+}
+
+// loadOrStore is the find-or-insert loop shared by Map and Session.
+func loadOrStore[K comparable, V any](h *Handle[K, V], k K, v V) (V, bool) {
 	for {
 		if cur, ok := h.Find(k); ok {
 			return cur, true
@@ -306,59 +347,133 @@ func (m *Map[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 
 // Compute inserts ⟨k,d⟩ if absent, else atomically replaces the value
 // with up(current, d); true iff an insert happened (handle-free
-// InsertOrUpdate). The release is deferred: a panic in up must not
-// strand the pooled handle.
-func (m *Map[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
-	h := m.acquire()
-	defer m.release(h)
-	return h.InsertOrUpdate(k, d, up)
+// InsertOrUpdate).
+func (m *Map[K, V]) Compute(k K, d V, up func(cur, d V) V) (inserted bool) {
+	withHandle(m, func(h *Handle[K, V]) { inserted = h.InsertOrUpdate(k, d, up) })
+	return
 }
 
-// Delete removes k (handle-free); true iff k was present. The release
-// is deferred: a panic in a custom hasher must not strand the pooled
-// handle.
-func (m *Map[K, V]) Delete(k K) bool {
-	h := m.acquire()
-	defer m.release(h)
-	return h.Delete(k)
+// Delete removes k (handle-free); true iff k was present.
+func (m *Map[K, V]) Delete(k K) (deleted bool) {
+	withHandle(m, func(h *Handle[K, V]) { deleted = h.Delete(k) })
+	return
 }
 
 // LoadAndDelete removes k and returns the value it held (handle-free;
 // sync.Map parity). loaded is false when k was absent.
 func (m *Map[K, V]) LoadAndDelete(k K) (value V, loaded bool) {
-	h := m.acquire()
-	defer m.release(h)
-	return h.LoadAndDelete(k)
+	withHandle(m, func(h *Handle[K, V]) { value, loaded = h.LoadAndDelete(k) })
+	return
 }
 
 // CompareAndSwap replaces the value of k with new iff it is currently
 // old (handle-free; sync.Map parity). Old values are compared with ==
 // and must be of a comparable dynamic type, or CompareAndSwap panics.
-// The release is deferred so that panic cannot strand the pooled
-// handle.
-func (m *Map[K, V]) CompareAndSwap(k K, old, new V) bool {
-	h := m.acquire()
-	defer m.release(h)
-	return h.CompareAndSwap(k, old, new)
+func (m *Map[K, V]) CompareAndSwap(k K, old, new V) (swapped bool) {
+	withHandle(m, func(h *Handle[K, V]) { swapped = h.CompareAndSwap(k, old, new) })
+	return
 }
 
 // CompareAndDelete removes k iff its value is currently old (handle-free;
 // sync.Map parity). Old values are compared with == and must be of a
 // comparable dynamic type, or CompareAndDelete panics.
-func (m *Map[K, V]) CompareAndDelete(k K, old V) bool {
-	h := m.acquire()
-	defer m.release(h)
-	return h.CompareAndDelete(k, old)
+func (m *Map[K, V]) CompareAndDelete(k K, old V) (deleted bool) {
+	withHandle(m, func(h *Handle[K, V]) { deleted = h.CompareAndDelete(k, old) })
+	return
 }
 
 // Update atomically changes the value of k to up(current, d); returns
 // false if k is absent (handle-free Update — unlike Compute it never
-// inserts). The release is deferred: up is arbitrary caller code, and a
-// panic inside it must not strand the pooled handle.
-func (m *Map[K, V]) Update(k K, d V, up func(cur, d V) V) bool {
-	h := m.acquire()
-	defer m.release(h)
-	return h.Update(k, d, up)
+// inserts).
+func (m *Map[K, V]) Update(k K, d V, up func(cur, d V) V) (updated bool) {
+	withHandle(m, func(h *Handle[K, V]) { updated = h.Update(k, d, up) })
+	return
+}
+
+// Session is a pinned-handle view of a Map: it borrows one pooled
+// handle at creation and reuses it for every operation until Close,
+// eliminating the per-op free-list hop of the handle-free methods.
+// Like a Handle, a Session must not be used concurrently — create one
+// per goroutine (typically one per connection or worker loop) and
+// Close it when done, or the pooled handle stays out of circulation.
+// Operations on a closed Session panic.
+type Session[K comparable, V any] struct {
+	m *Map[K, V]
+	h *Handle[K, V]
+}
+
+// Session borrows a pooled handle and pins it into a Session view.
+// Callers own the release: every path must Close the Session (growvet's
+// handleleak analyzer enforces the shape for in-package callers).
+//
+//growt:acquires Close
+//growt:exclusive -- ownership transfer: the borrowed handle is released by Session.Close, not here
+func (m *Map[K, V]) Session() *Session[K, V] {
+	return &Session[K, V]{m: m, h: m.acquire()}
+}
+
+// Close returns the pinned handle to the free list. Close is
+// idempotent; the Session is unusable afterwards.
+func (s *Session[K, V]) Close() {
+	if s.h != nil {
+		s.m.release(s.h)
+		s.h = nil
+	}
+}
+
+// handle returns the pinned handle, panicking on use-after-Close.
+func (s *Session[K, V]) handle() *Handle[K, V] {
+	if s.h == nil {
+		panic("growt: use of closed Session")
+	}
+	return s.h
+}
+
+// Load returns the value stored at k (see Map.Load).
+func (s *Session[K, V]) Load(k K) (V, bool) { return s.handle().Find(k) }
+
+// Store sets the value for k, inserting or overwriting (see Map.Store).
+func (s *Session[K, V]) Store(k K, v V) {
+	s.handle().InsertOrUpdate(k, v, Replace[V])
+}
+
+// LoadOrStore returns the existing value for k if present; otherwise it
+// stores and returns v (see Map.LoadOrStore).
+func (s *Session[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	return loadOrStore(s.handle(), k, v)
+}
+
+// Compute inserts ⟨k,d⟩ if absent, else atomically replaces the value
+// with up(current, d) (see Map.Compute).
+func (s *Session[K, V]) Compute(k K, d V, up func(cur, d V) V) bool {
+	return s.handle().InsertOrUpdate(k, d, up)
+}
+
+// Delete removes k; true iff k was present (see Map.Delete).
+func (s *Session[K, V]) Delete(k K) bool { return s.handle().Delete(k) }
+
+// LoadAndDelete removes k and returns the value it held (see
+// Map.LoadAndDelete).
+func (s *Session[K, V]) LoadAndDelete(k K) (value V, loaded bool) {
+	return s.handle().LoadAndDelete(k)
+}
+
+// CompareAndSwap replaces the value of k with new iff it is currently
+// old (see Map.CompareAndSwap).
+func (s *Session[K, V]) CompareAndSwap(k K, old, new V) bool {
+	return s.handle().CompareAndSwap(k, old, new)
+}
+
+// CompareAndDelete removes k iff its value is currently old (see
+// Map.CompareAndDelete).
+func (s *Session[K, V]) CompareAndDelete(k K, old V) bool {
+	return s.handle().CompareAndDelete(k, old)
+}
+
+// Update atomically changes the value of k to up(current, d) (see
+// Map.Update).
+func (s *Session[K, V]) Update(k K, d V, up func(cur, d V) V) bool {
+	return s.handle().Update(k, d, up)
 }
 
 // Number collects the types usable with Add.
@@ -428,6 +543,12 @@ func (b *wordBackend[K, V]) close()             { b.fk.Close() }
 func (b *wordBackend[K, V]) rangeAll(fn func(K, V) bool) {
 	b.fk.Range(func(k, w uint64) bool { return fn(b.kdec(k), b.vc.dec(w)) })
 }
+func (b *wordBackend[K, V]) rangeFrom(cur tables.Cursor, fn func(K, V) bool) (tables.Cursor, bool) {
+	return b.fk.RangeFrom(cur, func(k, w uint64) bool { return fn(b.kdec(k), b.vc.dec(w)) })
+}
+
+// entryBytes: two cell words plus the codec's arena slot estimate.
+func (b *wordBackend[K, V]) entryBytes() uint64 { return 16 + b.vc.slotBytes }
 
 type wordHandle[K comparable, V any] struct {
 	b *wordBackend[K, V]
@@ -536,6 +657,13 @@ func (b *stringBackend[K, V]) close()             {}
 func (b *stringBackend[K, V]) rangeAll(fn func(K, V) bool) {
 	b.sm.Range(func(s string, w uint64) bool { return fn(fromString[K](s), b.vc.dec(w)) })
 }
+func (b *stringBackend[K, V]) rangeFrom(cur tables.Cursor, fn func(K, V) bool) (tables.Cursor, bool) {
+	return b.sm.RangeFrom(cur, func(s string, w uint64) bool { return fn(fromString[K](s), b.vc.dec(w)) })
+}
+
+// entryBytes: two cell words, an arena copy of a typical short key
+// (length header plus ~14 bytes), and the value slot estimate.
+func (b *stringBackend[K, V]) entryBytes() uint64 { return 16 + 16 + b.vc.slotBytes }
 
 type stringHandle[K comparable, V any] struct {
 	b *stringBackend[K, V]
@@ -684,10 +812,15 @@ type genericBackend[K comparable, V any] struct {
 	hash func(K) uint64
 	ar   entryArena[K, V]
 	size atomic.Int64
+	gen  uint64 // process-unique id tagging resumable cursors
 }
 
+// genericGen hands every generic backend a process-unique nonzero
+// generation id for rangeFrom cursors (0 is reserved for "no cursor").
+var genericGen atomic.Uint64
+
 func newGenericBackend[K comparable, V any](c *config) *genericBackend[K, V] {
-	return &genericBackend[K, V]{fk: newWordCore(c), hash: hasherFor[K](c)}
+	return &genericBackend[K, V]{fk: newWordCore(c), hash: hasherFor[K](c), gen: genericGen.Add(1)}
 }
 
 func (b *genericBackend[K, V]) newHandle() backendHandle[K, V] {
@@ -725,6 +858,42 @@ func (b *genericBackend[K, V]) rangeAll(fn func(K, V) bool) {
 			}
 		}
 	}
+}
+
+// rangeFrom resumes the arena walk at cur. The arena is append-only, so
+// the cursor is a plain entry index; entries appended after the cursor
+// was taken are picked up by the next wrapped walk. Quiescent use only.
+func (b *genericBackend[K, V]) rangeFrom(cur tables.Cursor, fn func(K, V) bool) (tables.Cursor, bool) {
+	pos := uint64(0)
+	if cur.Gen == b.gen {
+		pos = cur.Pos
+	}
+	n := b.ar.n.Load()
+	var pages []*[entryPageSize]entry[K, V]
+	if p := b.ar.pages.Load(); p != nil {
+		pages = *p
+	}
+	if avail := uint64(len(pages)) * entryPageSize; n > avail {
+		n = avail
+	}
+	for idx := pos; idx < n; idx++ {
+		e := &pages[idx/entryPageSize][idx%entryPageSize]
+		if p := e.val.Load(); p != nil {
+			if !fn(e.key, *p) {
+				if idx+1 >= n {
+					return tables.Cursor{Gen: b.gen}, true
+				}
+				return tables.Cursor{Gen: b.gen, Pos: idx + 1}, false
+			}
+		}
+	}
+	return tables.Cursor{Gen: b.gen}, true
+}
+
+// entryBytes: the hash cell words plus one typed chain entry.
+func (b *genericBackend[K, V]) entryBytes() uint64 {
+	var e entry[K, V]
+	return 16 + uint64(unsafe.Sizeof(e))
 }
 
 type genericHandle[K comparable, V any] struct {
