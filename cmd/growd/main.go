@@ -11,7 +11,14 @@
 //	growd -addr :9000 -strategy usGrow
 //	growd -capacity 1048576 -tsx
 //	growd -default-ttl 30s -max-entries 1000000   # bounded cache mode
-//	growd -debug :8420                     # expvar counters at /debug/vars
+//	growd -debug :8420                     # debug HTTP: /metrics, /debug/vars, /debug/pprof
+//
+// The -debug listener is the observability surface: Prometheus text at
+// /metrics (the process-wide obs registry — per-opcode latency
+// histograms, migration-pause tracing, cache counters; see
+// docs/OBSERVABILITY.md), expvar at /debug/vars, and net/http/pprof at
+// /debug/pprof. The same registry is served in-protocol by the STATS
+// opcode, so clients can scrape without any HTTP listener at all.
 //
 // growd drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, live sessions get -drain to finish their pipelines, then
@@ -27,12 +34,14 @@ import (
 	"math"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers on the -debug listener
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	growt "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -68,7 +77,11 @@ func main() {
 	)
 	st := server.NewStore(opts...)
 	defer st.Close()
-	srv := server.New(st, server.Options{MaxFrame: uint32(*maxFrame)})
+	// obs.Default is where the core (migration pauses) and cache layers
+	// already register; handing it to the server puts the per-opcode
+	// series in the same registry, so one scrape — /metrics or the
+	// STATS opcode — sees the whole stack.
+	srv := server.New(st, server.Options{MaxFrame: uint32(*maxFrame), Obs: obs.Default})
 
 	// Counters — including the cache layer's hits/misses/expired/evicted
 	// — ride expvar so any scraper of /debug/vars sees them next to the
@@ -76,6 +89,12 @@ func main() {
 	expvar.Publish("growd", expvar.Func(func() any { return srv.Stats() }))
 	expvar.Publish("growd.size", expvar.Func(func() any { return st.C.Len() }))
 	if *debug != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obs.Default.WritePrometheus(w); err != nil {
+				log.Printf("growd: /metrics: %v", err)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*debug, nil); err != nil {
 				log.Printf("growd: debug server: %v", err)

@@ -18,10 +18,14 @@
 // writes are SETEX with that TTL, entries die under the load, and the
 // summary (and the BENCH record) reports the observed GET hit-rate —
 // the cache-serving probe against a growd running -default-ttl /
-// -max-entries. Pointing -stats at the server's -debug address
-// additionally scrapes the sweeper gauges (entries visited/removed)
-// into the summary, so the cost of the expiry walk is visible next to
-// the throughput it rode under.
+// -max-entries.
+//
+// Every run (unless -stats=false) scrapes the server's obs registry
+// over the STATS opcode before and after the measured window and
+// subtracts the snapshots, so the summary and the BENCH record carry
+// the server's own view of that exact window: per-opcode exec latency
+// percentiles, migration counts and pause histograms, and sweeper
+// progress — figures a client-side histogram cannot see.
 //
 //	growload -addr 127.0.0.1:7420 -conns 4 -depth 16 -duration 5s
 //	growload -rate 50000 -skew 1.05 -writep 20 -json BENCH_service.json
@@ -35,11 +39,9 @@ package main
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	stderrors "errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -48,6 +50,7 @@ import (
 
 	"repro/internal/bench/lathist"
 	"repro/internal/bench/report"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/server/client"
@@ -69,7 +72,7 @@ func main() {
 		ttlp     = flag.Int("ttlp", 100, "percent of writes issued as SETEX when -ttl is set")
 		prefill  = flag.Bool("prefill", true, "SET every key once before timing starts")
 		dialwait = flag.Duration("dialwait", 10*time.Second, "keep retrying the initial connect until this deadline")
-		stats    = flag.String("stats", "", "growd debug address (its -debug flag) to scrape sweeper gauges from after an expiring run")
+		stats    = flag.Bool("stats", true, "scrape server-side STATS snapshots around the measured window")
 		jsonOut  = flag.String("json", "", "write a service-kind BENCH report to this path")
 		exp      = flag.String("exp", "svc-mixed", "experiment id recorded in the report")
 		table    = flag.String("table", "growd", "table label recorded in the report")
@@ -111,6 +114,19 @@ func main() {
 		}
 	}
 
+	// Server-side window bracketing: one STATS scrape after the prefill
+	// (so prefill traffic is excluded) and one after the run; their
+	// difference is the server's exact view of the measured window.
+	var before obs.Snapshot
+	statsOK := false
+	if *stats {
+		if s, err := cl.Stats(); err != nil {
+			fmt.Fprintf(os.Stderr, "growload: STATS scrape: %v (continuing without server-side stats)\n", err)
+		} else {
+			before, statsOK = s, true
+		}
+	}
+
 	run := runner{
 		cl: cl, keys: *keys, skew: *skew,
 		writep: *writep, val: val,
@@ -121,6 +137,16 @@ func main() {
 		res = run.openLoop(*rate, *duration)
 	} else {
 		res = run.closedLoop(*conns**depth, *duration)
+	}
+
+	var win obs.Snapshot
+	if statsOK {
+		if s, err := cl.Stats(); err != nil {
+			fmt.Fprintf(os.Stderr, "growload: STATS scrape: %v (continuing without server-side stats)\n", err)
+			statsOK = false
+		} else {
+			win = s.Sub(before)
+		}
 	}
 
 	mode := "closed"
@@ -148,20 +174,9 @@ func main() {
 		fmt.Printf("hit-rate: %.4f (%d hits, %d misses)\n", rate, res.hits, res.misses)
 		extra += fmt.Sprintf(" hit_rate=%.4f", rate)
 	}
-	// An expiring workload is the sweeper's workout: when the server's
-	// debug address is known, pull its cursor-sweeper gauges so the run
-	// summary shows how much table the expiry machinery actually walked.
-	if *ttl > 0 && *stats != "" {
-		if g, err := sweepGauges(*stats); err != nil {
-			fmt.Fprintf(os.Stderr, "growload: sweeper gauges: %v\n", err)
-		} else {
-			fmt.Printf("sweeper: visited %d, removed %d (last tick: %d visited, %d removed)\n",
-				g.Visited, g.Removed, g.LastVisited, g.LastRemoved)
-			extra += fmt.Sprintf(" sweep_visited=%d sweep_removed=%d", g.Visited, g.Removed)
-		}
-	}
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  mean %v\n",
 		res.hist.Quantile(0.50), res.hist.Quantile(0.95), res.hist.Quantile(0.99), res.hist.Mean())
+	extraMap := serverWindow(win, statsOK)
 
 	if *jsonOut != "" {
 		rec := report.Record{
@@ -176,6 +191,7 @@ func main() {
 			// One measured window; the comparator's median falls back to it.
 			SampleSecs: []float64{res.seconds},
 			Extra:      extra,
+			ExtraMap:   extraMap,
 			P50us:      us(res.hist.Quantile(0.50)),
 			P95us:      us(res.hist.Quantile(0.95)),
 			P99us:      us(res.hist.Quantile(0.99)),
@@ -203,30 +219,67 @@ func main() {
 
 func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
-// gauges is the sweeper slice of growd's expvar "growd" object.
-type gauges struct {
-	Visited     uint64 `json:"sweep_visited"`
-	Removed     uint64 `json:"sweep_removed"`
-	LastVisited uint64 `json:"last_sweep_visited"`
-	LastRemoved uint64 `json:"last_sweep_removed"`
-}
+// nsf converts an obs nanosecond figure to microseconds for the record.
+func nsf(ns uint64) float64 { return float64(ns) / 1e3 }
 
-// sweepGauges scrapes the background sweeper's counters from a growd
-// debug endpoint (the address its -debug flag listens on).
-func sweepGauges(debugAddr string) (gauges, error) {
-	cl := &http.Client{Timeout: 5 * time.Second}
-	resp, err := cl.Get("http://" + debugAddr + "/debug/vars")
-	if err != nil {
-		return gauges{}, err
+// serverWindow prints the server-side view of the measured window and
+// returns its machine-readable form for the BENCH record's ExtraMap.
+// Series names mirror docs/OBSERVABILITY.md; a series the server did
+// not register simply reads as zero and is left out of the map.
+func serverWindow(win obs.Snapshot, ok bool) map[string]float64 {
+	if !ok {
+		return nil
 	}
-	defer resp.Body.Close()
-	var page struct {
-		Growd gauges `json:"growd"`
+	em := map[string]float64{
+		"srv_ops": float64(win.Counter("growd_ops_total")),
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
-		return gauges{}, fmt.Errorf("decode /debug/vars: %w", err)
+	fmt.Printf("server: %d ops executed in-window\n", win.Counter("growd_ops_total"))
+
+	// Per-opcode exec latency: the server's view of the same requests
+	// the client-side histogram timed (minus the network and queueing).
+	for _, op := range []string{"get", "set", "setex", "mget", "mset"} {
+		h := win.Hist(`growd_op_nanos{op="` + op + `"}`)
+		if h.Count == 0 {
+			continue
+		}
+		em["srv_"+op+"_p99_us"] = nsf(h.Quantile(0.99))
+		fmt.Printf("server: %s exec p50 %v p99 %v max %v (%d ops)\n", op,
+			time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)),
+			time.Duration(h.Max), h.Count)
 	}
-	return page.Growd, nil
+
+	// Migration-pause tracing: how many generations flipped under the
+	// load, how long the copies ran, and what the enslaved user
+	// operations paid — the §8 growth-pause tail, measured in situ.
+	migs := win.Counter(`growt_migrations_total{trigger="grow"}`) +
+		win.Counter(`growt_migrations_total{trigger="shrink"}`) +
+		win.Counter(`growt_migrations_total{trigger="cleanup"}`)
+	em["migrations"] = float64(migs)
+	em["mig_cells_copied"] = float64(win.Counter("growt_migration_cells_copied_total"))
+	wall := win.Hist("growt_migration_wall_nanos")
+	assist := win.Hist("growt_migration_assist_nanos")
+	// Sub keeps the cumulative Max (a max cannot be windowed); only
+	// report it when migrations actually completed in this window.
+	if wall.Count > 0 {
+		em["mig_wall_max_us"] = nsf(wall.Max)
+	}
+	em["mig_assist_p99_us"] = nsf(assist.Quantile(0.99))
+	em["mig_assist_count"] = float64(assist.Count)
+	if migs > 0 {
+		fmt.Printf("server: %d migrations (%d cells copied), wall p99 %v max %v; assist p99 %v over %d assisted ops\n",
+			migs, win.Counter("growt_migration_cells_copied_total"),
+			time.Duration(wall.Quantile(0.99)), time.Duration(wall.Max),
+			time.Duration(assist.Quantile(0.99)), assist.Count)
+	}
+
+	// Sweeper progress (expiring workloads; zero otherwise).
+	em["sweep_visited"] = float64(win.Counter("growt_cache_sweep_visited_total"))
+	em["sweep_removed"] = float64(win.Counter("growt_cache_sweep_removed_total"))
+	if v := win.Counter("growt_cache_sweep_visited_total"); v > 0 {
+		fmt.Printf("server: sweeper visited %d, removed %d in-window\n",
+			v, win.Counter("growt_cache_sweep_removed_total"))
+	}
+	return em
 }
 
 // doPrefill SETs every key once through the pipeline (async, so the

@@ -1,0 +1,100 @@
+// Package obsfix shapes the hotpathalloc fixture like internal/obs:
+// the metrics hot paths — sharded counter Add, log2-histogram Observe
+// — must stay silent (they are the allocation-free contract the obs
+// package ships), while seeded "convenience" variants that allocate
+// (label rendering, boxing into a sink, growing a sample slice,
+// capturing closure) must each fire.
+package obsfix
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	shardCount  = 8
+	shardMask   = shardCount - 1
+	histBuckets = 65
+)
+
+// padded mimics internal/pad: one counter word per cache line.
+type padded struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type counter struct {
+	s [shardCount]padded
+}
+
+type hist struct {
+	b   [histBuckets]atomic.Uint64
+	n   atomic.Uint64
+	sum atomic.Uint64
+	max atomic.Uint64
+}
+
+// Add is the clean sharded hot path: pick a shard from the caller's
+// hint, one atomic add. Nothing here may allocate.
+//
+//growt:hotpath
+func (c *counter) Add(shard uint64, n uint64) {
+	c.s[shard&shardMask].v.Add(n)
+}
+
+// Observe is the clean histogram hot path: bucket index from the bit
+// length, three atomic adds, a CAS loop for the max.
+//
+//growt:hotpath
+func (h *hist) Observe(v uint64) {
+	h.b[bits.Len64(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// --- seeded allocating variants: each line must fire ---
+
+var sink func() uint64
+
+type recorder struct{ samples []uint64 }
+
+func record(v any) { _ = v }
+
+// observeLabeled renders the series name per observation — the exact
+// mistake the registry's register-once design exists to prevent.
+//
+//growt:hotpath
+func (h *hist) observeLabeled(op string, v uint64) string {
+	h.Observe(v)
+	return fmt.Sprintf("growd_op_nanos{op=%q} %d", op, v) // want `fmt.Sprintf`
+}
+
+// addTraced boxes the delta into an any-typed trace sink.
+//
+//growt:hotpath
+func (c *counter) addTraced(shard, n uint64) {
+	c.Add(shard, n)
+	record(n) // want `boxing allocates`
+}
+
+// observeSampled grows an unhinted sample slice on the hot path.
+//
+//growt:hotpath
+func (r *recorder) observeSampled(h *hist, v uint64) {
+	h.Observe(v)
+	r.samples = append(r.samples, v) // want `append`
+}
+
+// deferredRead captures the histogram in a closure that escapes.
+//
+//growt:hotpath
+func (h *hist) deferredRead() {
+	sink = func() uint64 { return h.n.Load() } // want `captures h`
+}

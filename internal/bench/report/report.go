@@ -88,6 +88,13 @@ type Record struct {
 	Bytes      uint64    `json:"bytes,omitempty"` // live backing memory (fig10)
 	Extra      string    `json:"extra,omitempty"`
 
+	// ExtraMap carries machine-readable auxiliary figures keyed by
+	// name — growload records the server-side stats it scrapes over
+	// the STATS opcode here (per-opcode exec p99s, migration counts
+	// and pause percentiles, sweeper progress). Additive in schema v1:
+	// absent in older files, ignored by older readers.
+	ExtraMap map[string]float64 `json:"extra_map,omitempty"`
+
 	// Latency percentiles and mean, microseconds (service records only).
 	P50us  float64 `json:"p50_us,omitempty"`
 	P95us  float64 `json:"p95_us,omitempty"`

@@ -286,7 +286,7 @@ type view[K comparable, V any] interface {
 // refuses and the replacement survives untouched.
 func (c *Cache[K, V]) collect(v view[K, V], k K, it *item[V]) {
 	if v.CompareAndDelete(k, it) {
-		c.expired.Add(1)
+		c.countExpired()
 	}
 }
 
@@ -298,18 +298,18 @@ func (c *Cache[K, V]) get(v view[K, V], k K) (V, bool) {
 	now := c.now()
 	it, ok := v.Load(k)
 	if !ok {
-		c.misses.Add(1)
+		c.countMiss()
 		var zv V
 		return zv, false
 	}
 	if dead(it, now) {
 		c.collect(v, k, it)
-		c.misses.Add(1)
+		c.countMiss()
 		var zv V
 		return zv, false
 	}
 	it.access.Store(now)
-	c.hits.Add(1)
+	c.countHit()
 	return it.val, true
 }
 
@@ -529,7 +529,7 @@ func (c *Cache[K, V]) del(v view[K, V], k K) bool {
 		return false
 	}
 	if dead(it, c.now()) {
-		c.expired.Add(1)
+		c.countExpired()
 		return false
 	}
 	return true
@@ -602,7 +602,7 @@ func (c *Cache[K, V]) evictOne(v view[K, V], now int64) bool {
 		}
 		if dead(it, now) {
 			if v.CompareAndDelete(*kp, it) {
-				c.expired.Add(1)
+				c.countExpired()
 				return true
 			}
 			continue
@@ -616,7 +616,7 @@ func (c *Cache[K, V]) evictOne(v view[K, V], now int64) bool {
 		return false
 	}
 	if v.CompareAndDelete(bestK, bestIt) {
-		c.evicted.Add(1)
+		c.countEvicted()
 		return true
 	}
 	return false
@@ -663,7 +663,7 @@ func (c *Cache[K, V]) sweepOnce(v view[K, V], budget int) int {
 		seen++
 		if dead(it, now) {
 			if v.CompareAndDelete(k, it) {
-				c.expired.Add(1)
+				c.countExpired()
 				removed++
 			}
 		}
@@ -675,8 +675,11 @@ func (c *Cache[K, V]) sweepOnce(v view[K, V], budget int) int {
 	c.sweepRemoved.Add(uint64(removed))
 	c.lastSweepVisited.Store(uint64(seen))
 	c.lastSweepRemoved.Store(uint64(removed))
+	obsSweepVisited.Add(uint64(seen))
+	obsSweepRemoved.Add(uint64(removed))
 	c.enforceBudget(v, now)
 	c.sweeps.Add(1)
+	obsSweeps.Add(1)
 	return removed
 }
 

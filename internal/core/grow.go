@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/htm"
 	"repro/internal/pad"
@@ -60,6 +61,10 @@ type Grow struct {
 	cur      atomic.Pointer[Table]
 	mig      atomic.Pointer[migration]
 
+	// gen counts completed migrations: the generation index of cur.
+	// Monotone; advanced in onDone after the table pointer flips.
+	gen atomic.Uint64
+
 	// tx, when non-nil, routes all write operations (and migration
 	// marking) through emulated restricted transactions — the TSX-based
 	// instantiation of §7 measured in Fig. 9b.
@@ -108,6 +113,10 @@ func (g *Grow) TxStats() (commits, aborts, fallbacks uint64) {
 
 // Strategy returns the variant.
 func (g *Grow) Strategy() Strategy { return g.strategy }
+
+// Generation returns the number of completed migrations — the
+// generation index of the current table (0 for the initial one).
+func (g *Grow) Generation() uint64 { return g.gen.Load() }
 
 // Capacity returns the current generation's cell count.
 func (g *Grow) Capacity() uint64 { return g.cur.Load().capacity }
@@ -174,8 +183,13 @@ func (g *Grow) initiate(src *Table) {
 
 // migrationTo builds a migration from src into dst whose completion seeds
 // dst's per-generation counters with the exact moved element count and
-// publishes dst as the current generation.
+// publishes dst as the current generation. Completion also records the
+// migration event (trigger, wall duration, elements copied) on the
+// process-wide obs registry; an aborted migration never reaches onDone
+// and records nothing.
 func (g *Grow) migrationTo(src, dst *Table) *migration {
+	trigger := classifyTrigger(src.capacity, dst.capacity)
+	start := time.Now()
 	m := newMigration(src, dst, !g.strategy.synchronized(), func(moved uint64) {
 		// moved is exact (the copy visited every live element), so it is
 		// the new generation's counter base; deltas still pending in
@@ -183,6 +197,8 @@ func (g *Grow) migrationTo(src, dst *Table) *migration {
 		dst.c.ins.Store(moved)
 		g.cur.Store(dst)
 		g.mig.Store(nil)
+		g.gen.Add(1)
+		recordMigration(trigger, start, moved)
 	})
 	m.tx = g.tx
 	return m
@@ -232,8 +248,11 @@ func (g *Grow) launch(m *migration) {
 	}
 	// User-thread recruitment (§5.3.2): the triggering access is itself
 	// enslaved, guaranteeing the migration makes progress even if no other
-	// thread touches the table.
+	// thread touches the table. Its stall is a growth pause like any
+	// helper's — even a single-threaded forced resize records one.
+	begin := time.Now()
 	m.help()
+	migAssist.ObserveSince(begin)
 }
 
 // drainBusy waits until every registered handle's busy flag has been
@@ -256,17 +275,22 @@ func (g *Grow) drainBusy() {
 
 // assist is called by an operation that cannot proceed (marked cell, full
 // table, or armed migration). It helps or waits per the strategy, then
-// the caller retries on the (eventually new) current table.
+// the caller retries on the (eventually new) current table. The stall —
+// copying blocks or waiting on the pool — is the per-op growth pause,
+// recorded into the assist histogram (its count is the helper-op
+// count; its p99 is the figure the amortized-migration work targets).
 func (g *Grow) assist() {
 	m := g.mig.Load()
 	if m == nil {
 		return // already finished; retry will load the new table
 	}
+	begin := time.Now()
 	if g.strategy.pooled() {
 		m.wait()
-		return
+	} else {
+		m.help()
 	}
-	m.help()
+	migAssist.ObserveSince(begin)
 }
 
 // maybeTrigger checks the fill trigger after a counter flush.

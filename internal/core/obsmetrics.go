@@ -1,0 +1,72 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Migration observability: the growth-pause baseline the amortized
+// per-bucket migration work (ROADMAP) will be judged against. Series
+// are registered on obs.Default at package init — one set per process,
+// shared by every Grow instance, which matches how the figures are
+// read: growd serves exactly one table, and in-process benchmarks
+// subtract snapshots around their measured window.
+//
+// The event model: a migration that completes (arm → copy → publish)
+// records one growt_migrations_total{trigger=...} increment, its wall
+// duration (including the synchronized variants' busy-flag drain —
+// that wait is part of the pause users feel), and the elements it
+// copied. Aborted migrations (stale-src arm) record nothing. Every
+// stretch a user operation spends helping or waiting on a migration
+// lands in growt_migration_assist_nanos — its count is the helper-op
+// count, its quantiles are the per-op growth pause of §8's tail story.
+var (
+	migGrows    = obs.Default.Counter("growt_migrations_total", "trigger", "grow")
+	migShrinks  = obs.Default.Counter("growt_migrations_total", "trigger", "shrink")
+	migCleanups = obs.Default.Counter("growt_migrations_total", "trigger", "cleanup")
+
+	migWall        = obs.Default.Hist("growt_migration_wall_nanos")
+	migCellsCopied = obs.Default.Counter("growt_migration_cells_copied_total")
+	migAssist      = obs.Default.Hist("growt_migration_assist_nanos")
+)
+
+// migTrigger classifies a migration by its capacity change. The name
+// doubles as the trigger label value.
+type migTrigger uint8
+
+const (
+	triggerGrow migTrigger = iota
+	triggerShrink
+	triggerCleanup
+)
+
+// classifyTrigger derives the trigger from the capacity step.
+func classifyTrigger(srcCap, dstCap uint64) migTrigger {
+	switch {
+	case dstCap > srcCap:
+		return triggerGrow
+	case dstCap < srcCap:
+		return triggerShrink
+	}
+	return triggerCleanup
+}
+
+func (t migTrigger) counter() *obs.Counter {
+	switch t {
+	case triggerGrow:
+		return migGrows
+	case triggerShrink:
+		return migShrinks
+	}
+	return migCleanups
+}
+
+// recordMigration is called from a completed migration's onDone, after
+// the new generation is published: exactly once per migration, by the
+// helper that finished the last block.
+func recordMigration(trigger migTrigger, start time.Time, moved uint64) {
+	trigger.counter().Add(1)
+	migWall.ObserveSince(start)
+	migCellsCopied.Add(moved)
+}

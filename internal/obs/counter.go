@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"runtime"
+	"unsafe"
+
+	"repro/internal/pad"
+)
+
+// shardCount is the number of padded slots per Counter: the smallest
+// power of two ≥ GOMAXPROCS at package init, so concurrent writers
+// spread across distinct cache lines. Fixed at init — resizing shards
+// at runtime would race with hot-path writers for no benefit.
+var (
+	shardCount = ceilPow2(runtime.GOMAXPROCS(0))
+	shardMask  = uint64(shardCount - 1)
+)
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Counter is a monotonically increasing sharded counter. Add touches a
+// single cache-line-padded slot chosen by the caller's stack address,
+// so goroutines running on different Ps rarely collide on a line.
+// Value sums the shards (approximate during concurrent writes, exact
+// once writers quiesce — the usual sharded-counter contract).
+type Counter struct {
+	//growt:atomic
+	s []pad.Uint64
+}
+
+//growt:exclusive
+func newCounter() *Counter {
+	return &Counter{s: make([]pad.Uint64, shardCount)}
+}
+
+// shardIdx picks a shard from the address of a stack local. Distinct
+// goroutines live on distinct stacks, so the high bits differ; the
+// Fibonacci multiplier spreads them across the shard space. The
+// pointer is converted forward to uintptr in a single expression and
+// never dereferenced, so the local does not escape — Add stays
+// allocation-free.
+//
+//growt:hotpath
+func shardIdx() uint64 {
+	var p byte
+	return (uint64(uintptr(unsafe.Pointer(&p))) * 0x9E3779B97F4A7C15) >> 32 & shardMask
+}
+
+// Add increments the counter by n.
+//
+//growt:hotpath
+func (c *Counter) Add(n uint64) {
+	c.s[shardIdx()].Add(n)
+}
+
+// Value returns the sum of all shards.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := 0; i < len(c.s); i++ {
+		total += c.s[i].Load()
+	}
+	return total
+}
+
+// Gauge is a settable signed value on its own cache line (current
+// connections, queue depth, sweep cursor position).
+type Gauge struct {
+	v pad.Int64
+}
+
+// Add moves the gauge by d (negative to decrease).
+//
+//growt:hotpath
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Set replaces the gauge value.
+//
+//growt:hotpath
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

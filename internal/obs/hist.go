@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: one bucket per possible
+// bit-length of a uint64 value, plus bucket 0 for the value zero.
+// Bucket i (i ≥ 1) holds values v with 2^(i-1) ≤ v < 2^i; its upper
+// bound is 2^i − 1. Factor-of-two buckets cost nothing to index
+// (bits.Len64) and bound every quantile estimate within 2× of exact —
+// plenty to tell a 50 µs p99 from a 5 ms migration stall.
+const histBuckets = 65
+
+// Hist is a lock-free log2 latency histogram. Observe is three atomic
+// adds plus a bounded max-CAS — no locks, no allocation — so it is safe
+// inside //growt:hotpath code. Buckets deliberately share cache lines
+// (a 65×128-byte padded layout would cost 8 KiB per histogram and the
+// write rate per histogram is far below per-counter rates); the count
+// and sum words, hit on every Observe, get their own padding via the
+// struct layout below.
+type Hist struct {
+	//growt:atomic
+	b [histBuckets]atomic.Uint64
+
+	n   atomic.Uint64
+	sum atomic.Uint64
+	max atomic.Uint64
+}
+
+// Observe records v (typically nanoseconds; the metric name carries
+// the unit).
+//
+//growt:hotpath
+func (h *Hist) Observe(v uint64) {
+	h.b[bits.Len64(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the time elapsed since start, in nanoseconds.
+//
+//growt:hotpath
+func (h *Hist) ObserveSince(start time.Time) {
+	d := time.Since(start)
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Snapshot captures the histogram. Concurrent Observes may land
+// between the field reads (count/sum/buckets can disagree by the few
+// in-flight observations); the snapshot is self-consistent once
+// writers quiesce, and windowed deltas via Sub inherit the same
+// tolerance.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := 0; i < histBuckets; i++ {
+		s.Buckets[i] = h.b[i].Load()
+	}
+	s.Count = h.n.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Hist: a plain value that
+// marshals to JSON, merges across shards or servers, and subtracts to
+// form windows.
+type HistSnapshot struct {
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Max     uint64              `json:"max"`
+	Buckets [histBuckets]uint64 `json:"buckets"`
+}
+
+// Merge returns the combination of s and o, as if every observation
+// recorded in either had been recorded in one histogram.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Sub returns the observations in s but not in prev — the activity
+// window between two snapshots of the same histogram. Subtraction
+// saturates at zero so a server restart between scrapes yields an
+// empty window rather than wrapped garbage. Max carries s's value: a
+// maximum cannot be un-observed.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	out := s
+	out.Count = satSub(s.Count, prev.Count)
+	out.Sum = satSub(s.Sum, prev.Sum)
+	for i := range out.Buckets {
+		out.Buckets[i] = satSub(s.Buckets[i], prev.Buckets[i])
+	}
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) of
+// the recorded values: the upper bound of the bucket containing the
+// ceil(q·n)-th smallest observation, clamped to the exact tracked Max
+// (every observation is ≤ Max, so the clamp only tightens the top
+// bucket's bound — a p99 can never read above the max). Because
+// buckets span a factor of two, the true quantile lies in
+// (result/2, result]. Returns 0 for an empty snapshot; q ≥ 1 returns
+// the bound of the highest occupied bucket.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			return s.clampMax(bucketUpper(i))
+		}
+	}
+	return s.clampMax(bucketUpper(histBuckets - 1))
+}
+
+// clampMax tightens a bucket upper bound with the exact maximum (in a
+// Sub window Max is the cumulative maximum, still a valid upper bound
+// for every windowed observation). Max of zero means every recorded
+// value was zero, in which case the bound is already zero.
+func (s HistSnapshot) clampMax(v uint64) uint64 {
+	if s.Max > 0 && s.Max < v {
+		return s.Max
+	}
+	return v
+}
+
+// Mean returns the average recorded value (0 when empty).
+func (s HistSnapshot) Mean() uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// bucketUpper is the largest value bucket i can hold: 0 for bucket 0,
+// 2^i − 1 for the rest (saturating at MaxUint64 for the top bucket).
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}

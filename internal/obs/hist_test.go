@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Errorf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1010 {
+		t.Errorf("Sum = %d, want 1010", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Errorf("Max = %d, want 1000", s.Max)
+	}
+	if s.Buckets[0] != 1 { // value 0
+		t.Errorf("bucket 0 = %d, want 1", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 { // value 1
+		t.Errorf("bucket 1 = %d, want 1", s.Buckets[1])
+	}
+	if s.Buckets[2] != 2 { // values 2,3
+		t.Errorf("bucket 2 = %d, want 2", s.Buckets[2])
+	}
+	if got := s.Mean(); got != 1010/6 {
+		t.Errorf("Mean = %d, want %d", got, 1010/6)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+// TestQuantileErrorBound checks the log2 histogram's contract against
+// a reference sort: for every q, the reported quantile is an upper
+// bound on the exact order statistic and within a factor of two of it.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() uint64{
+		"uniform": func() uint64 { return uint64(rng.Intn(1_000_000)) + 1 },
+		"exp":     func() uint64 { return uint64(rng.ExpFloat64()*50_000) + 1 },
+		"bimodal": func() uint64 {
+			if rng.Intn(100) < 95 {
+				return uint64(rng.Intn(2_000)) + 1
+			}
+			return uint64(rng.Intn(5_000_000)) + 1_000_000
+		},
+	}
+	for name, draw := range dists {
+		var h Hist
+		vals := make([]uint64, 20_000)
+		for i := range vals {
+			vals[i] = draw()
+			h.Observe(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+			rank := int(math.Ceil(q * float64(len(vals))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			got := s.Quantile(q)
+			if got < exact {
+				t.Errorf("%s q=%v: estimate %d below exact %d", name, q, got, exact)
+			}
+			if exact > 0 && got >= 2*exact {
+				t.Errorf("%s q=%v: estimate %d not within 2x of exact %d", name, q, got, exact)
+			}
+		}
+		if s.Max != vals[len(vals)-1] {
+			t.Errorf("%s: Max = %d, want %d", name, s.Max, vals[len(vals)-1])
+		}
+	}
+}
+
+// TestHistConcurrentMerge has G writers hammer private histograms plus
+// one shared histogram concurrently (snapshots racing with writers),
+// then checks the merged private snapshots and the quiesced shared
+// snapshot agree on every total. Run under -race this also proves
+// Observe/Snapshot need no external synchronization.
+func TestHistConcurrentMerge(t *testing.T) {
+	const goroutines, perG = 8, 5000
+	var shared Hist
+	private := make([]Hist, goroutines)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A snapshot reader racing with the writers: values may be torn
+	// between fields, but each load must be race-free and each bucket
+	// monotone.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := shared.Snapshot()
+			var total uint64
+			for _, c := range s.Buckets {
+				total += c
+			}
+			if total < last {
+				t.Error("bucket total went backwards")
+				return
+			}
+			last = total
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				v := uint64(rng.Intn(1 << 20))
+				shared.Observe(v)
+				private[g].Observe(v)
+			}
+		}(g)
+	}
+	// Let the reader race against the writers for a moment, then stop
+	// it and wait for everything.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	var merged HistSnapshot
+	for g := range private {
+		merged = merged.Merge(private[g].Snapshot())
+	}
+	got := shared.Snapshot()
+	if merged.Count != goroutines*perG || got.Count != merged.Count {
+		t.Fatalf("Count: merged=%d shared=%d want=%d", merged.Count, got.Count, goroutines*perG)
+	}
+	if got.Sum != merged.Sum {
+		t.Fatalf("Sum: merged=%d shared=%d", merged.Sum, got.Sum)
+	}
+	if got.Max != merged.Max {
+		t.Fatalf("Max: merged=%d shared=%d", merged.Max, got.Max)
+	}
+	if got.Buckets != merged.Buckets {
+		t.Fatal("bucket contents diverge between merged privates and shared")
+	}
+}
+
+func TestHistSnapshotSubWindow(t *testing.T) {
+	var h Hist
+	h.Observe(10)
+	h.Observe(20)
+	before := h.Snapshot()
+	h.Observe(1000)
+	h.Observe(2000)
+	win := h.Snapshot().Sub(before)
+	if win.Count != 2 || win.Sum != 3000 {
+		t.Fatalf("window = {Count:%d Sum:%d}, want {2 3000}", win.Count, win.Sum)
+	}
+	if got := win.Quantile(1.0); got < 2000 || got >= 4000 {
+		t.Fatalf("window max-quantile = %d, want in [2000, 4000)", got)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var h Hist
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max < uint64(time.Millisecond) {
+		t.Fatalf("ObserveSince recorded {Count:%d Max:%d}", s.Count, s.Max)
+	}
+	// A start time in the future must clamp to zero, not wrap.
+	h.ObserveSince(time.Now().Add(time.Hour))
+	if s := h.Snapshot(); s.Max > uint64(time.Minute) {
+		t.Fatalf("future start wrapped: Max=%d", s.Max)
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	cases := map[int]uint64{
+		0:  0,
+		1:  1,
+		2:  3,
+		3:  7,
+		10: 1023,
+		63: 1<<63 - 1,
+		64: math.MaxUint64,
+	}
+	for i, want := range cases {
+		if got := bucketUpper(i); got != want {
+			t.Errorf("bucketUpper(%d) = %d, want %d", i, got, want)
+		}
+	}
+}

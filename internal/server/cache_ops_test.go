@@ -78,7 +78,7 @@ func TestSetExAndTTL(t *testing.T) {
 		t.Fatal("expired key deletable as live")
 	}
 	st := srv.Stats()
-	if st.SetExs != 1 || st.TTLs != 4 || st.Expired == 0 {
+	if st.PerOp["setex"] != 1 || st.PerOp["ttl"] != 4 || st.Expired == 0 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
@@ -178,7 +178,7 @@ func TestMGetPartialMiss(t *testing.T) {
 	if vals, err := cl.MGet(); err != nil || len(vals) != 0 {
 		t.Fatalf("empty MGET = %v, %v", vals, err)
 	}
-	if st := srv.Stats(); st.MGets != 2 {
+	if st := srv.Stats(); st.PerOp["mget"] != 2 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
@@ -212,7 +212,7 @@ func TestMSetRoundTrip(t *testing.T) {
 			t.Fatalf("vals[%d] = %q, want %q", i, v, want)
 		}
 	}
-	if st := srv.Stats(); st.MSets != 1 || st.Hits != 100 {
+	if st := srv.Stats(); st.PerOp["mset"] != 1 || st.Hits != 100 {
 		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -10,6 +10,7 @@ package client
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -17,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -300,6 +302,26 @@ func parseMGet(b []byte, n int) ([][]byte, error) {
 		return nil, fmt.Errorf("client: MGET: %d trailing reply bytes", len(b))
 	}
 	return vals, nil
+}
+
+// Stats scrapes the server's metric registry over the wire (STATS):
+// every counter, gauge, and latency histogram the server side has
+// registered, as one mergeable/subtractable snapshot. Scraping through
+// the data protocol means a load generator measures the same path it
+// loads — no side-channel HTTP listener required.
+func (cl *Client) Stats() (obs.Snapshot, error) {
+	r := cl.conn().roundTrip(server.OpStats, nil)
+	switch {
+	case r.Err != nil:
+		return obs.Snapshot{}, r.Err
+	case r.Status != server.StatusOK:
+		return obs.Snapshot{}, statusErr("STATS", r)
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(r.Val, &s); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("client: STATS: bad snapshot body: %w", err)
+	}
+	return s, nil
 }
 
 // MSet stores a batch of ⟨key, val⟩ pairs in one frame under the

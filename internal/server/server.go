@@ -3,12 +3,15 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // Options tunes a Server. The zero value is ready to use.
@@ -23,6 +26,12 @@ type Options struct {
 	// The reader parks when the queue is full, which backpressures a
 	// client that pipelines faster than its link drains.
 	OutQueue int
+	// Obs is the metric registry the server registers into; a private
+	// registry when nil. growd passes obs.Default so the server's
+	// series share /metrics and the STATS opcode with the core and
+	// cache layers; tests leave it nil and keep exact per-instance
+	// counts.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -49,17 +58,12 @@ type Stats struct {
 	ConnsAccepted uint64 `json:"conns_accepted"`
 	ConnsActive   int64  `json:"conns_active"`
 	Ops           uint64 `json:"ops"`
-	Gets          uint64 `json:"gets"`
-	Sets          uint64 `json:"sets"`
-	Dels          uint64 `json:"dels"`
-	CASes         uint64 `json:"cases"`
-	Incrs         uint64 `json:"incrs"`
-	SetExs        uint64 `json:"setexs"`
-	Expires       uint64 `json:"expires"`
-	TTLs          uint64 `json:"ttls"`
-	MGets         uint64 `json:"mgets"`
-	MSets         uint64 `json:"msets"`
-	ProtocolErrs  uint64 `json:"protocol_errs"`
+	// PerOp counts executed requests per opcode, keyed by wire name
+	// (OpName). The key set is derived from the opcode enum at New, so
+	// it tracks the protocol by construction — adding an opcode extends
+	// this map without touching Stats.
+	PerOp        map[string]uint64 `json:"per_op"`
+	ProtocolErrs uint64            `json:"protocol_errs"`
 
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
@@ -78,21 +82,39 @@ type Stats struct {
 	LastSweepRemoved uint64 `json:"last_sweep_removed"`
 }
 
-type counters struct {
-	connsAccepted atomic.Uint64
-	connsActive   atomic.Int64
-	ops           atomic.Uint64
-	gets          atomic.Uint64
-	sets          atomic.Uint64
-	dels          atomic.Uint64
-	cases         atomic.Uint64
-	incrs         atomic.Uint64
-	setexs        atomic.Uint64
-	expires       atomic.Uint64
-	ttls          atomic.Uint64
-	mgets         atomic.Uint64
-	msets         atomic.Uint64
-	protocolErrs  atomic.Uint64
+// metrics holds the server's obs instruments, registered once at New.
+// The per-opcode arrays are indexed by raw opcode byte and populated
+// for exactly the opcodes OpName knows — the enum is the single source
+// of the per-op series set.
+type metrics struct {
+	reg           *obs.Registry
+	connsAccepted *obs.Counter
+	connsActive   *obs.Gauge
+	ops           *obs.Counter
+	protocolErrs  *obs.Counter
+	queueDepth    *obs.Hist
+	opCount       [256]*obs.Counter
+	opLat         [256]*obs.Hist
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	m := metrics{
+		reg:           reg,
+		connsAccepted: reg.Counter("growd_conns_accepted_total"),
+		connsActive:   reg.Gauge("growd_conns_active"),
+		ops:           reg.Counter("growd_ops_total"),
+		protocolErrs:  reg.Counter("growd_protocol_errs_total"),
+		queueDepth:    reg.Hist("growd_out_queue_depth"),
+	}
+	for op := 0; op < 256; op++ {
+		name := OpName(byte(op))
+		if name == "" {
+			continue
+		}
+		m.opCount[op] = reg.Counter("growd_op_total", "op", name)
+		m.opLat[op] = reg.Hist("growd_op_nanos", "op", name)
+	}
+	return m
 }
 
 // Server serves the binary protocol over a Store. Each accepted
@@ -113,39 +135,47 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	c counters
+	m metrics
 }
 
 // New builds a server over st.
 func New(st *Store, opt Options) *Server {
 	opt.defaults()
+	reg := opt.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Server{
 		st:    st,
 		opt:   opt,
 		conns: make(map[net.Conn]struct{}),
+		m:     newMetrics(reg),
 	}
 }
 
+// Obs returns the registry the server records into (Options.Obs, or
+// the private one New built) — the same registry the STATS opcode
+// snapshots.
+func (s *Server) Obs() *obs.Registry { return s.m.reg }
+
 // Stats snapshots the counters (expvar-friendly: growd publishes it via
 // expvar.Func), merging the cache layer's hit/miss/expired/evicted
-// block into the protocol-level counts.
+// block into the protocol-level counts. The per-op map is built from
+// the opcode enum via the same OpName scan that registered the series.
 func (s *Server) Stats() Stats {
 	cs := s.st.C.Stats()
+	perOp := make(map[string]uint64, len(s.m.opCount))
+	for op := 0; op < 256; op++ {
+		if c := s.m.opCount[op]; c != nil {
+			perOp[OpName(byte(op))] = c.Value()
+		}
+	}
 	return Stats{
-		ConnsAccepted: s.c.connsAccepted.Load(),
-		ConnsActive:   s.c.connsActive.Load(),
-		Ops:           s.c.ops.Load(),
-		Gets:          s.c.gets.Load(),
-		Sets:          s.c.sets.Load(),
-		Dels:          s.c.dels.Load(),
-		CASes:         s.c.cases.Load(),
-		Incrs:         s.c.incrs.Load(),
-		SetExs:        s.c.setexs.Load(),
-		Expires:       s.c.expires.Load(),
-		TTLs:          s.c.ttls.Load(),
-		MGets:         s.c.mgets.Load(),
-		MSets:         s.c.msets.Load(),
-		ProtocolErrs:  s.c.protocolErrs.Load(),
+		ConnsAccepted: s.m.connsAccepted.Value(),
+		ConnsActive:   s.m.connsActive.Value(),
+		Ops:           s.m.ops.Value(),
+		PerOp:         perOp,
+		ProtocolErrs:  s.m.protocolErrs.Value(),
 		Hits:          cs.Hits,
 		Misses:        cs.Misses,
 		Expired:       cs.Expired,
@@ -193,8 +223,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		s.c.connsAccepted.Add(1)
-		s.c.connsActive.Add(1)
+		s.m.connsAccepted.Add(1)
+		s.m.connsActive.Add(1)
 		go s.session(conn)
 	}
 }
@@ -255,7 +285,7 @@ func (s *Server) session(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
-	s.c.connsActive.Add(-1)
+	s.m.connsActive.Add(-1)
 }
 
 // writeLoop drains out into a buffered writer, flushing only when the
@@ -309,7 +339,7 @@ func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}
 		frameBuf = nbuf
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrMalformed) {
-				s.c.protocolErrs.Add(1)
+				s.m.protocolErrs.Add(1)
 				// Best-effort terminal error; id is unknowable here (the
 				// frame could not be parsed past its length), so echo 0.
 				s.trySend(out, done, errFrame(nil, 0, err.Error()))
@@ -318,19 +348,27 @@ func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}
 		}
 		// Each response frame is freshly allocated: ownership moves to the
 		// writer goroutine at the send.
+		begin := time.Now()
 		resp, fatal := s.exec(cs, nil, id, kind, reqBody)
+		if h := s.m.opLat[kind]; h != nil {
+			h.ObserveSince(begin)
+		}
 		if !s.trySend(out, done, resp) {
 			return
 		}
 		if fatal {
-			s.c.protocolErrs.Add(1)
+			s.m.protocolErrs.Add(1)
 			return
 		}
 	}
 }
 
-// trySend enqueues a response unless the writer already died.
+// trySend enqueues a response unless the writer already died. The
+// queue occupancy sampled at every enqueue is the coalescing-depth
+// distribution: a writer keeping up samples near zero, a saturated
+// link samples near OutQueue.
 func (s *Server) trySend(out chan<- []byte, done <-chan struct{}, frame []byte) bool {
+	s.m.queueDepth.Observe(uint64(len(out)))
 	select {
 	case out <- frame:
 		return true
@@ -361,7 +399,13 @@ func errFrame(dst []byte, id uint64, msg string) []byte {
 //
 //growt:wire dispatch opcode
 func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind byte, reqBody []byte) (frame []byte, fatal bool) {
-	s.c.ops.Add(1)
+	s.m.ops.Add(1)
+	// Per-op counting is enum-derived: the counter exists iff OpName
+	// knows the opcode, so this one line replaces a per-case increment
+	// in every arm below (and can never miss a new opcode).
+	if pc := s.m.opCount[kind]; pc != nil {
+		pc.Add(1)
+	}
 	p := body{b: reqBody}
 	start := len(dst)
 	switch kind {
@@ -376,7 +420,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.gets.Add(1)
 		v, ok := c.Get(Key(key))
 		if !ok {
 			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
@@ -391,7 +434,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.sets.Add(1)
 		c.Set(Key(key), string(val))
 		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
 
@@ -402,7 +444,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.setexs.Add(1)
 		c.SetTTL(Key(key), string(val), ttlMillis(ttl))
 		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
 
@@ -412,7 +453,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.expires.Add(1)
 		if !c.Expire(Key(key), ttlMillis(ttl)) {
 			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
 		}
@@ -423,7 +463,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.ttls.Add(1)
 		d, ok := c.TTL(Key(key))
 		if !ok {
 			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
@@ -437,7 +476,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.dels.Add(1)
 		if !c.Delete(Key(key)) {
 			return EndFrame(BeginFrame(dst, id, StatusNotFound), start), false
 		}
@@ -450,7 +488,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.cases.Add(1)
 		swapped, found := c.CompareAndSwap(Key(key), string(old), string(new))
 		switch {
 		case swapped:
@@ -466,7 +503,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.incrs.Add(1)
 		v, ok := incr(c, Key(key), delta)
 		if !ok {
 			return errFrame(dst, id, "INCR target is not an 8-byte counter"), false
@@ -496,7 +532,6 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.mgets.Add(1)
 		dst = BeginFrame(dst, id, StatusOK)
 		for _, key := range keys {
 			if v, ok := c.Get(Key(key)); ok {
@@ -529,11 +564,25 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		if !p.done() {
 			break
 		}
-		s.c.msets.Add(1)
 		for _, kv := range pairs {
 			c.Set(Key(kv[0]), string(kv[1]))
 		}
 		return EndFrame(BeginFrame(dst, id, StatusOK), start), false
+
+	case OpStats:
+		// Observability scrape: the registry — server, core-migration,
+		// and cache series alike when growd wired obs.Default in — as
+		// one JSON body. A scrape is a cold path; it allocates freely.
+		if !p.done() {
+			break
+		}
+		b, err := json.Marshal(s.m.reg.Snapshot())
+		if err != nil {
+			return errFrame(dst[:start], id, "stats encoding failed"), false
+		}
+		dst = BeginFrame(dst, id, StatusOK)
+		dst = append(dst, b...)
+		return EndFrame(dst, start), false
 	}
 	return errFrame(dst[:start], id, "malformed request"), true
 }

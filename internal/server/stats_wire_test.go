@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// TestStatsOpcode exercises the STATS wire surface end to end: the
+// client scrapes the server's obs registry over the same connection it
+// runs operations on, and the snapshot's per-opcode series — derived
+// from the opcode enum, not a hand-kept list — reflect exactly the
+// traffic this session generated (Options.Obs nil gives the server a
+// private registry, so no other test's ops can leak in).
+func TestStatsOpcode(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	before, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+
+	const sets, gets = 7, 13
+	for i := 0; i < sets; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if err := cl.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < gets; i++ {
+		if _, _, err := cl.Get([]byte("k0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	win := after.Sub(before)
+
+	// The STATS round trips themselves are counted too: the "after"
+	// snapshot is taken while serving the second STATS request, whose
+	// own counter increment happens before the snapshot is encoded.
+	if got := win.Counter(`growd_op_total{op="set"}`); got != sets {
+		t.Errorf(`op_total{op="set"} window = %d, want %d`, got, sets)
+	}
+	if got := win.Counter(`growd_op_total{op="get"}`); got != gets {
+		t.Errorf(`op_total{op="get"} window = %d, want %d`, got, gets)
+	}
+	if got := win.Counter("growd_ops_total"); got < sets+gets {
+		t.Errorf("ops_total window = %d, want >= %d", got, sets+gets)
+	}
+
+	// The exec-latency histograms must have one observation per op and
+	// a sane shape (Max bounds every quantile).
+	h := win.Hist(`growd_op_nanos{op="get"}`)
+	if h.Count != gets {
+		t.Errorf(`op_nanos{op="get"} count = %d, want %d`, h.Count, gets)
+	}
+	if q := h.Quantile(0.99); q > 0 && h.Max > 0 && q > 2*h.Max {
+		t.Errorf("p99 %d implausible against max %d", q, h.Max)
+	}
+
+	// A fresh snapshot is cumulative: never below the window.
+	if after.Counter(`growd_op_total{op="set"}`) < sets {
+		t.Errorf("cumulative snapshot lost sets")
+	}
+}

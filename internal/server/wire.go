@@ -48,7 +48,51 @@ const (
 	OpTTL    byte = 0x0A // key -> remaining TTL in ms (TTLImmortal = none)
 	OpMGet   byte = 0x0B // n:u32, n × key -> batched GET, per-key found flag
 	OpMSet   byte = 0x0C // n:u32, n × (key value) -> batched default-TTL SET
+
+	// Observability opcode (PR 9): scrape the server's obs registry —
+	// counters, gauges, latency histograms — over the data protocol
+	// itself, so a load generator needs no side-channel HTTP scrape.
+	OpStats byte = 0x0D // -> JSON-encoded obs.Snapshot
 )
+
+// OpName maps an opcode to its lowercase wire name ("" for unknown
+// bytes). The switch covers the //growt:enum with no default, so
+// statusswitch fails the build when an opcode is added but not named —
+// and everything per-opcode in the server (metric series, the Stats
+// per-op map) is derived from this function, which is what makes
+// "thirteen parallel struct fields drifting from the enum" structurally
+// impossible.
+func OpName(op byte) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDel:
+		return "del"
+	case OpCAS:
+		return "cas"
+	case OpIncr:
+		return "incr"
+	case OpSize:
+		return "size"
+	case OpSetEx:
+		return "setex"
+	case OpExpire:
+		return "expire"
+	case OpTTL:
+		return "ttl"
+	case OpMGet:
+		return "mget"
+	case OpMSet:
+		return "mset"
+	case OpStats:
+		return "stats"
+	}
+	return ""
+}
 
 // TTLImmortal is the TTL response payload for a live entry with no
 // deadline (stored without a TTL on a server with no default TTL).
