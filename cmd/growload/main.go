@@ -42,6 +42,7 @@ import (
 	stderrors "errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -78,6 +79,9 @@ func main() {
 		table    = flag.String("table", "growd", "table label recorded in the report")
 	)
 	flag.Parse()
+	// Summary lines stay human-readable on stdout; errors and warnings
+	// go through slog on stderr like growd's.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "growload"))
 	if *writep < 0 || *writep > 100 {
 		fatal(fmt.Errorf("-writep must be 0..100"))
 	}
@@ -121,7 +125,7 @@ func main() {
 	statsOK := false
 	if *stats {
 		if s, err := cl.Stats(); err != nil {
-			fmt.Fprintf(os.Stderr, "growload: STATS scrape: %v (continuing without server-side stats)\n", err)
+			slog.Warn("STATS scrape failed; continuing without server-side stats", "err", err)
 		} else {
 			before, statsOK = s, true
 		}
@@ -142,10 +146,21 @@ func main() {
 	var win obs.Snapshot
 	if statsOK {
 		if s, err := cl.Stats(); err != nil {
-			fmt.Fprintf(os.Stderr, "growload: STATS scrape: %v (continuing without server-side stats)\n", err)
+			slog.Warn("STATS scrape failed; continuing without server-side stats", "err", err)
 			statsOK = false
 		} else {
 			win = s.Sub(before)
+		}
+	}
+	// The slow-op log rides the same scrape policy as STATS: pulled
+	// after the measured window so the entries are the window's own
+	// slow requests (the ring holds the most recent slowLogSlots only).
+	var slowOps []server.SlowEntry
+	if *stats {
+		if es, err := cl.SlowLog(); err != nil {
+			slog.Warn("SLOWLOG scrape failed; continuing without slow-op log", "err", err)
+		} else {
+			slowOps = es
 		}
 	}
 
@@ -177,6 +192,22 @@ func main() {
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  mean %v\n",
 		res.hist.Quantile(0.50), res.hist.Quantile(0.95), res.hist.Quantile(0.99), res.hist.Mean())
 	extraMap := serverWindow(win, statsOK)
+	if len(slowOps) > 0 {
+		if extraMap == nil {
+			extraMap = make(map[string]float64)
+		}
+		var maxLat uint64
+		for _, e := range slowOps {
+			if e.LatencyNanos > maxLat {
+				maxLat = e.LatencyNanos
+			}
+		}
+		extraMap["slow_ops"] = float64(len(slowOps))
+		extraMap["slow_op_max_us"] = nsf(maxLat)
+		last := slowOps[len(slowOps)-1]
+		fmt.Printf("server: %d slow ops logged, slowest %v; latest: %s gen=%d qdepth=%d\n",
+			len(slowOps), time.Duration(maxLat), last.Op, last.Generation, last.QueueDepth)
+	}
 
 	if *jsonOut != "" {
 		rec := report.Record{
@@ -210,7 +241,7 @@ func main() {
 		if err := rep.Save(*jsonOut); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "growload: wrote service record to %s\n", *jsonOut)
+		slog.Info("wrote service record", "path", *jsonOut)
 	}
 	if res.errors > 0 {
 		os.Exit(1)
@@ -254,18 +285,23 @@ func serverWindow(win obs.Snapshot, ok bool) map[string]float64 {
 	migs := win.Counter(`growt_migrations_total{trigger="grow"}`) +
 		win.Counter(`growt_migrations_total{trigger="shrink"}`) +
 		win.Counter(`growt_migrations_total{trigger="cleanup"}`)
+	// The count itself is always honest (zero means zero); the derived
+	// figures — cells copied, wall/assist percentiles — are only
+	// recorded and printed when migrations actually completed in the
+	// window. A 0-valued p99 in the record reads like a measurement of
+	// instant migrations, which is exactly the wrong conclusion.
 	em["migrations"] = float64(migs)
-	em["mig_cells_copied"] = float64(win.Counter("growt_migration_cells_copied_total"))
-	wall := win.Hist("growt_migration_wall_nanos")
-	assist := win.Hist("growt_migration_assist_nanos")
-	// Sub keeps the cumulative Max (a max cannot be windowed); only
-	// report it when migrations actually completed in this window.
-	if wall.Count > 0 {
-		em["mig_wall_max_us"] = nsf(wall.Max)
-	}
-	em["mig_assist_p99_us"] = nsf(assist.Quantile(0.99))
-	em["mig_assist_count"] = float64(assist.Count)
 	if migs > 0 {
+		wall := win.Hist("growt_migration_wall_nanos")
+		assist := win.Hist("growt_migration_assist_nanos")
+		em["mig_cells_copied"] = float64(win.Counter("growt_migration_cells_copied_total"))
+		// Sub keeps the cumulative Max (a max cannot be windowed); it is
+		// still an upper bound for every in-window migration.
+		if wall.Count > 0 {
+			em["mig_wall_max_us"] = nsf(wall.Max)
+		}
+		em["mig_assist_p99_us"] = nsf(assist.Quantile(0.99))
+		em["mig_assist_count"] = float64(assist.Count)
 		fmt.Printf("server: %d migrations (%d cells copied), wall p99 %v max %v; assist p99 %v over %d assisted ops\n",
 			migs, win.Counter("growt_migration_cells_copied_total"),
 			time.Duration(wall.Quantile(0.99)), time.Duration(wall.Max),
@@ -464,6 +500,6 @@ func (r *runner) openLoop(rate float64, d time.Duration) runResult {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "growload:", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotPathAlloc(t *testing.T) {
-	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "a", "obsfix")
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "a", "obsfix", "tracefix")
 }

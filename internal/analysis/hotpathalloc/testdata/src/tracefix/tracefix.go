@@ -1,0 +1,88 @@
+// Package tracefix shapes the hotpathalloc fixture like
+// internal/obs/trace: the flight-recorder append path — ticket
+// fetch-and-add plus seqlock-bracketed atomic stores — must stay
+// silent (Append is the always-on allocation-free contract), while
+// seeded "helpful" variants that allocate (rendering the event,
+// boxing it into a logger, buffering into an unhinted slice, capturing
+// the ring in a flush closure) must each fire.
+package tracefix
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+const ringSlots = 64
+
+type slot struct {
+	seq  atomic.Uint64
+	ts   atomic.Uint64
+	kind atomic.Uint64
+	a0   atomic.Uint64
+	a1   atomic.Uint64
+	a2   atomic.Uint64
+}
+
+type ring struct {
+	cursor atomic.Uint64
+	slots  [ringSlots]slot
+}
+
+// Append is the clean recorder hot path: claim a ticket, bracket the
+// payload stores with the odd/even sequence protocol. Nothing here may
+// allocate.
+//
+//growt:hotpath
+func (r *ring) Append(ts int64, kind uint8, a0, a1, a2 uint64) {
+	ticket := r.cursor.Add(1) - 1
+	s := &r.slots[ticket&(ringSlots-1)]
+	s.seq.Store(2*ticket + 1)
+	s.ts.Store(uint64(ts))
+	s.kind.Store(uint64(kind))
+	s.a0.Store(a0)
+	s.a1.Store(a1)
+	s.a2.Store(a2)
+	s.seq.Store(2*ticket + 2)
+}
+
+// --- seeded allocating variants: each line must fire ---
+
+var flush func() uint64
+
+type spiller struct{ overflow []uint64 }
+
+func logEvent(v any) { _ = v }
+
+// appendRendered formats the event as it is recorded — the recorder
+// stores fixed binary words precisely so nothing renders on the hot
+// path.
+//
+//growt:hotpath
+func (r *ring) appendRendered(ts int64, kind uint8, a0 uint64) string {
+	r.Append(ts, kind, a0, 0, 0)
+	return fmt.Sprintf("trace[%d] kind=%d a0=%d", ts, kind, a0) // want `fmt.Sprintf`
+}
+
+// appendLogged boxes the argument into an any-typed event logger.
+//
+//growt:hotpath
+func (r *ring) appendLogged(ts int64, kind uint8, a0 uint64) {
+	r.Append(ts, kind, a0, 0, 0)
+	logEvent(a0) // want `boxing allocates`
+}
+
+// appendSpill grows an unhinted overflow buffer instead of
+// overwriting the oldest slot.
+//
+//growt:hotpath
+func (sp *spiller) appendSpill(r *ring, ts int64, a0 uint64) {
+	r.Append(ts, 1, a0, 0, 0)
+	sp.overflow = append(sp.overflow, a0) // want `append`
+}
+
+// appendDeferredFlush captures the ring in an escaping flush closure.
+//
+//growt:hotpath
+func (r *ring) appendDeferredFlush() {
+	flush = func() uint64 { return r.cursor.Load() } // want `captures r`
+}

@@ -66,6 +66,7 @@ import (
 	"time"
 
 	growt "repro"
+	"repro/internal/obs/trace"
 	"repro/internal/rng"
 )
 
@@ -243,6 +244,12 @@ func (c *Cache[K, V]) PoolBorrows() uint64 { return c.m.PoolBorrows() }
 // Len estimates the number of stored entries (live + not-yet-collected
 // expired), via the map's §5.2 size estimator.
 func (c *Cache[K, V]) Len() uint64 { return c.m.ApproxSize() }
+
+// Generation returns the underlying map's completed-migration count
+// (see growt.Map.Generation); the slow-op log stamps each entry with
+// the generation it ran against so a stall can be tied to the exact
+// migration that caused it.
+func (c *Cache[K, V]) Generation() uint64 { return c.m.Generation() }
 
 // deadline converts a ttl into an absolute expiry; ttl <= 0 = immortal.
 func deadline(now int64, ttl time.Duration) int64 {
@@ -571,8 +578,14 @@ func (c *Cache[K, V]) enforceBudget(v view[K, V], now int64) {
 	if max == 0 {
 		return
 	}
+	var evicted uint64
 	for tries := 0; tries < maxEvictPerWrite && c.m.ApproxSize() > max; tries++ {
-		c.evictOne(v, now)
+		if c.evictOne(v, now) {
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		trace.Emit(trace.KindEvictStorm, evicted, c.m.ApproxSize(), max)
 	}
 }
 
@@ -677,6 +690,9 @@ func (c *Cache[K, V]) sweepOnce(v view[K, V], budget int) int {
 	c.lastSweepRemoved.Store(uint64(removed))
 	obsSweepVisited.Add(uint64(seen))
 	obsSweepRemoved.Add(uint64(removed))
+	if seen > 0 {
+		trace.Emit(trace.KindSweepSlice, uint64(seen), uint64(removed), 0)
+	}
 	c.enforceBudget(v, now)
 	c.sweeps.Add(1)
 	obsSweeps.Add(1)

@@ -44,6 +44,22 @@ func split(k uint64) (hi bool, core uint64, special bool) {
 	return hi, core, false
 }
 
+// Generation sums the completed-migration counts of the two growing
+// subtables (a bounded subtable has no generations and contributes
+// zero). Monotone: every finished migration in either half advances it
+// by one, so an operation stamped with the value it read ran against a
+// table state the next migration retired.
+func (f *FullKeys) Generation() uint64 {
+	var n uint64
+	if g, ok := f.t0.(interface{ Generation() uint64 }); ok {
+		n += g.Generation()
+	}
+	if g, ok := f.t1.(interface{ Generation() uint64 }); ok {
+		n += g.Generation()
+	}
+	return n
+}
+
 // Handle returns a goroutine-private accessor.
 func (f *FullKeys) Handle() tables.Handle {
 	return &fullKeysHandle{f: f, h0: f.t0.Handle(), h1: f.t1.Handle()}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/htm"
+	"repro/internal/obs/trace"
 	"repro/internal/pad"
 	"repro/internal/tables"
 )
@@ -197,7 +198,8 @@ func (g *Grow) migrationTo(src, dst *Table) *migration {
 		dst.c.ins.Store(moved)
 		g.cur.Store(dst)
 		g.mig.Store(nil)
-		g.gen.Add(1)
+		newGen := g.gen.Add(1)
+		trace.Emit(trace.KindMigFlip, moved, newGen, 0)
 		recordMigration(trigger, start, moved)
 	})
 	m.tx = g.tx
@@ -230,6 +232,7 @@ func (g *Grow) arm(m *migration) bool {
 		m.abort()        // then release threads that already adopted m
 		return false
 	}
+	trace.Emit(trace.KindMigArm, m.src.capacity, m.dst.capacity, 0)
 	return true
 }
 
@@ -271,6 +274,7 @@ func (g *Grow) drainBusy() {
 			}
 		}
 	}
+	trace.Emit(trace.KindMigDrain, uint64(len(flags)), 0, 0)
 }
 
 // assist is called by an operation that cannot proceed (marked cell, full

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hashfn"
 	"repro/internal/htm"
+	"repro/internal/obs/trace"
 	"repro/internal/pad"
 )
 
@@ -81,6 +82,7 @@ func (m *migration) grows() bool { return m.dst.capacity >= m.src.capacity }
 // completion. Returns after dst has been published.
 func (m *migration) help() {
 	<-m.started
+	trace.Emit(trace.KindMigAdopt, m.totalBlocks, m.doneBlocks.Load(), 0)
 	for {
 		b := m.nextBlock.Add(1) - 1
 		if b >= m.totalBlocks {
@@ -92,6 +94,7 @@ func (m *migration) help() {
 		} else {
 			moved = m.processShrinkBlock(b)
 		}
+		trace.Emit(trace.KindMigCopySlice, b, moved, 0)
 		if moved > 0 {
 			m.moved.Add(moved)
 		}
@@ -116,6 +119,7 @@ func (m *migration) wait() { <-m.finished }
 // once, before started is closed.
 func (m *migration) abort() {
 	m.nextBlock.Store(m.totalBlocks) // no block will ever be dealt
+	trace.Emit(trace.KindMigAbort, m.src.capacity, 0, 0)
 	close(m.started)
 	close(m.finished)
 }

@@ -44,10 +44,11 @@ import (
 // use; registration takes a mutex, reads of registered instruments do
 // not.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Hist
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Hist
+	collectors []func()
 }
 
 // Default is the process-wide registry. Library subsystems (core
@@ -108,10 +109,29 @@ func (r *Registry) Hist(name string, labels ...string) *Hist {
 	return h
 }
 
+// RegisterCollector adds a hook that runs at the start of every
+// Snapshot (and therefore every Prometheus render, which snapshots
+// internally). Collectors refresh pull-style sources — the
+// runtime/metrics bridge samples GC and scheduler state this way —
+// by setting gauges on the registry; they run outside the registry
+// lock, so they may call Gauge/Counter/Hist freely.
+func (r *Registry) RegisterCollector(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, f)
+}
+
 // Snapshot captures every registered metric at one point in time. The
 // maps are keyed by full series name (labels included). Snapshots are
 // plain values: marshal them, merge them, subtract them.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	collectors := make([]func(), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	for _, f := range collectors {
+		f()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{

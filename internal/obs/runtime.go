@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// RegisterRuntimeMetrics bridges the Go runtime's own instrumentation
+// into r as gauges, refreshed by a collector on every Snapshot (and
+// therefore on every /metrics render and STATS reply). The point is
+// attribution: when a slow-op trace shows a stall, these gauges say
+// whether the collector or the scheduler — not the table — owned it.
+//
+//	go_gc_pause_{p50,p99,max}_nanos   stop-the-world pause distribution
+//	go_sched_latency_{p50,p99}_nanos  goroutine ready→run latency
+//	go_heap_live_bytes                live heap objects
+//	go_heap_goal_bytes                next GC trigger target
+//	go_goroutines                     current goroutine count
+//	go_gc_cycles                      completed GC cycles
+//
+// The pause and latency distributions are cumulative since process
+// start (runtime/metrics semantics); windowed percentiles come from
+// subtracting scrapes client-side like every other gauge.
+func RegisterRuntimeMetrics(r *Registry) {
+	samples := []metrics.Sample{
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/sched/latencies:seconds"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/heap/goal:bytes"},
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	gcP50 := r.Gauge("go_gc_pause_p50_nanos")
+	gcP99 := r.Gauge("go_gc_pause_p99_nanos")
+	gcMax := r.Gauge("go_gc_pause_max_nanos")
+	schedP50 := r.Gauge("go_sched_latency_p50_nanos")
+	schedP99 := r.Gauge("go_sched_latency_p99_nanos")
+	heapLive := r.Gauge("go_heap_live_bytes")
+	heapGoal := r.Gauge("go_heap_goal_bytes")
+	goroutines := r.Gauge("go_goroutines")
+	gcCycles := r.Gauge("go_gc_cycles")
+
+	// Snapshot can run concurrently (STATS opcode and a /metrics scrape
+	// at once); the samples slice is shared scratch, so serialize reads.
+	var mu sync.Mutex
+	r.RegisterCollector(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		metrics.Read(samples)
+		if h := samples[0].Value.Float64Histogram(); h != nil {
+			gcP50.Set(histQuantileNanos(h, 0.50))
+			gcP99.Set(histQuantileNanos(h, 0.99))
+			gcMax.Set(histQuantileNanos(h, 1.0))
+		}
+		if h := samples[1].Value.Float64Histogram(); h != nil {
+			schedP50.Set(histQuantileNanos(h, 0.50))
+			schedP99.Set(histQuantileNanos(h, 0.99))
+		}
+		heapLive.Set(int64(samples[2].Value.Uint64()))
+		heapGoal.Set(int64(samples[3].Value.Uint64()))
+		goroutines.Set(int64(samples[4].Value.Uint64()))
+		gcCycles.Set(int64(samples[5].Value.Uint64()))
+	})
+}
+
+// histQuantileNanos returns an upper bound (in nanoseconds) for the
+// q-quantile of a runtime Float64Histogram whose buckets are seconds.
+// Mirrors HistSnapshot.Quantile: the bound of the bucket holding the
+// ceil(q·n)-th observation. An unbounded top bucket falls back to its
+// lower edge — the runtime's histograms cap their real range, so this
+// only triggers for pathological outliers. Empty distributions yield 0.
+func histQuantileNanos(h *metrics.Float64Histogram, q float64) int64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if c > 0 && seen >= rank {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, +1) {
+				upper = h.Buckets[i]
+			}
+			return secondsToNanos(upper)
+		}
+	}
+	return 0
+}
+
+func secondsToNanos(s float64) int64 {
+	if math.IsInf(s, +1) || s >= math.MaxInt64/1e9 {
+		return math.MaxInt64
+	}
+	if s <= 0 || math.IsInf(s, -1) {
+		return 0
+	}
+	return int64(s * 1e9)
+}

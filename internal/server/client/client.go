@@ -324,6 +324,26 @@ func (cl *Client) Stats() (obs.Snapshot, error) {
 	return s, nil
 }
 
+// SlowLog fetches the server's slow-op log (the SLOWLOG opcode):
+// every recent request over the server's latency threshold, in
+// ascending timestamp order. Like Stats it is an observability scrape
+// over the data connection — a load generator can pull the slow ops of
+// exactly its measured window without a side channel.
+func (cl *Client) SlowLog() ([]server.SlowEntry, error) {
+	r := cl.conn().roundTrip(server.OpSlowLog, nil)
+	switch {
+	case r.Err != nil:
+		return nil, r.Err
+	case r.Status != server.StatusOK:
+		return nil, statusErr("SLOWLOG", r)
+	}
+	var es []server.SlowEntry
+	if err := json.Unmarshal(r.Val, &es); err != nil {
+		return nil, fmt.Errorf("client: SLOWLOG: bad body: %w", err)
+	}
+	return es, nil
+}
+
 // MSet stores a batch of ⟨key, val⟩ pairs in one frame under the
 // server's default TTL. A malformed batch applies nothing server-side.
 func (cl *Client) MSet(pairs ...[2][]byte) error {

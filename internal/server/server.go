@@ -3,8 +3,10 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"hash/maphash"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,6 +14,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Options tunes a Server. The zero value is ready to use.
@@ -32,6 +35,11 @@ type Options struct {
 	// cache layers; tests leave it nil and keep exact per-instance
 	// counts.
 	Obs *obs.Registry
+	// SlowOpThreshold is the execution-latency floor above which a
+	// request is captured into the slow-op log (served by the SLOWLOG
+	// opcode). Zero means DefaultSlowOpThreshold; negative disables
+	// capture entirely.
+	SlowOpThreshold time.Duration
 }
 
 func (o *Options) defaults() {
@@ -46,6 +54,9 @@ func (o *Options) defaults() {
 	}
 	if o.OutQueue == 0 {
 		o.OutQueue = 256
+	}
+	if o.SlowOpThreshold == 0 {
+		o.SlowOpThreshold = DefaultSlowOpThreshold
 	}
 }
 
@@ -135,7 +146,8 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	m metrics
+	m    metrics
+	slow slowLog
 }
 
 // New builds a server over st.
@@ -157,6 +169,11 @@ func New(st *Store, opt Options) *Server {
 // the private one New built) — the same registry the STATS opcode
 // snapshots.
 func (s *Server) Obs() *obs.Registry { return s.m.reg }
+
+// SlowOps snapshots the slow-op log in ascending timestamp order — the
+// same view the SLOWLOG opcode serializes; growd's SIGQUIT dump and
+// tests read it directly.
+func (s *Server) SlowOps() []SlowEntry { return s.slow.snapshot() }
 
 // Stats snapshots the counters (expvar-friendly: growd publishes it via
 // expvar.Func), merging the cache layer's hit/miss/expired/evicted
@@ -348,10 +365,30 @@ func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}
 		}
 		// Each response frame is freshly allocated: ownership moves to the
 		// writer goroutine at the send.
+		trace.Emit(trace.KindExecStart, uint64(kind), id, 0)
 		begin := time.Now()
 		resp, fatal := s.exec(cs, nil, id, kind, reqBody)
+		lat := time.Since(begin)
+		if lat < 0 {
+			lat = 0
+		}
 		if h := s.m.opLat[kind]; h != nil {
-			h.ObserveSince(begin)
+			h.Observe(uint64(lat))
+		}
+		// The response status byte sits after the length and id words;
+		// every frame exec builds carries one.
+		status := StatusErr
+		if len(resp) > 4+frameHeader-1 {
+			status = resp[4+frameHeader-1]
+		}
+		trace.Emit(trace.KindExecEnd, uint64(kind), uint64(status), uint64(lat))
+		if thr := s.opt.SlowOpThreshold; thr > 0 && lat >= thr {
+			var kh uint64
+			if key := keyOfRequest(kind, reqBody); len(key) > 0 {
+				kh = maphash.Bytes(storeSeed, key)
+			}
+			s.slow.insert(trace.Now(), kind, id, kh,
+				uint64(len(out)), s.st.C.Generation(), uint64(lat))
 		}
 		if !s.trySend(out, done, resp) {
 			return
@@ -368,7 +405,13 @@ func (s *Server) readLoop(conn net.Conn, out chan<- []byte, done <-chan struct{}
 // distribution: a writer keeping up samples near zero, a saturated
 // link samples near OutQueue.
 func (s *Server) trySend(out chan<- []byte, done <-chan struct{}, frame []byte) bool {
-	s.m.queueDepth.Observe(uint64(len(out)))
+	depth := uint64(len(out))
+	s.m.queueDepth.Observe(depth)
+	var id uint64
+	if len(frame) >= 12 {
+		id = binary.BigEndian.Uint64(frame[4:12])
+	}
+	trace.Emit(trace.KindEnqueue, id, depth, 0)
 	select {
 	case out <- frame:
 		return true
@@ -579,6 +622,20 @@ func (s *Server) exec(c *cache.Session[Key, string], dst []byte, id uint64, kind
 		b, err := json.Marshal(s.m.reg.Snapshot())
 		if err != nil {
 			return errFrame(dst[:start], id, "stats encoding failed"), false
+		}
+		dst = BeginFrame(dst, id, StatusOK)
+		dst = append(dst, b...)
+		return EndFrame(dst, start), false
+
+	case OpSlowLog:
+		// Observability scrape like STATS: the slow-op log as one JSON
+		// array. Cold path; allocates freely.
+		if !p.done() {
+			break
+		}
+		b, err := json.Marshal(s.slow.snapshot())
+		if err != nil {
+			return errFrame(dst[:start], id, "slowlog encoding failed"), false
 		}
 		dst = BeginFrame(dst, id, StatusOK)
 		dst = append(dst, b...)

@@ -1,0 +1,72 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// TestSlowLogOpcode exercises the SLOWLOG wire surface end to end with
+// a 1ns threshold, under which every request is a slow op: the client
+// runs traffic, scrapes the log over the same connection, and the
+// entries carry the executed opcodes with nonzero latencies in
+// timestamp order.
+func TestSlowLogOpcode(t *testing.T) {
+	_, addr := startServer(t, server.Options{SlowOpThreshold: 1})
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 10; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if err := cl.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	es, err := cl.SlowLog()
+	if err != nil {
+		t.Fatalf("slowlog: %v", err)
+	}
+	if len(es) == 0 {
+		t.Fatal("no slow ops captured at a 1ns threshold")
+	}
+	ops := map[string]int{}
+	for i, e := range es {
+		ops[e.Op]++
+		if e.LatencyNanos == 0 {
+			t.Errorf("entry %d: zero latency", i)
+		}
+		if i > 0 && e.TS < es[i-1].TS {
+			t.Errorf("entry %d: out of order (%d < %d)", i, e.TS, es[i-1].TS)
+		}
+	}
+	if ops["set"] == 0 || ops["get"] == 0 {
+		t.Errorf("expected set and get entries, got %v", ops)
+	}
+
+	// A disabled log (negative threshold) captures nothing.
+	_, addr2 := startServer(t, server.Options{SlowOpThreshold: -1})
+	cl2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if err := cl2.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	es2, err := cl2.SlowLog()
+	if err != nil {
+		t.Fatalf("slowlog: %v", err)
+	}
+	if len(es2) != 0 {
+		t.Errorf("disabled slowlog captured %d entries", len(es2))
+	}
+}

@@ -53,6 +53,12 @@ const (
 	// counters, gauges, latency histograms — over the data protocol
 	// itself, so a load generator needs no side-channel HTTP scrape.
 	OpStats byte = 0x0D // -> JSON-encoded obs.Snapshot
+
+	// Observability opcode (PR 10): scrape the server's slow-op log —
+	// every recent request over the latency threshold, stamped with the
+	// opcode, key hash, queue depth, and table generation it ran
+	// against — over the data protocol, like STATS.
+	OpSlowLog byte = 0x0E // -> JSON array of SlowEntry
 )
 
 // OpName maps an opcode to its lowercase wire name ("" for unknown
@@ -90,6 +96,8 @@ func OpName(op byte) string {
 		return "mset"
 	case OpStats:
 		return "stats"
+	case OpSlowLog:
+		return "slowlog"
 	}
 	return ""
 }

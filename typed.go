@@ -58,6 +58,9 @@ type Handle[K comparable, V any] struct {
 type backend[K comparable, V any] interface {
 	newHandle() backendHandle[K, V]
 	approxSize() uint64
+	// generation is the completed-migration count of the underlying
+	// growing core (0 for bounded backends).
+	generation() uint64
 	close()
 	rangeAll(fn func(K, V) bool)
 	// rangeFrom resumes rangeAll at cur; tables.CursorRanger semantics
@@ -132,6 +135,12 @@ func (m *Map[K, V]) Close() { m.b.close() }
 // and generic-keyed maps count exactly; word-keyed growing maps return
 // the paper's approximate per-handle-counter estimate.
 func (m *Map[K, V]) ApproxSize() uint64 { return m.b.approxSize() }
+
+// Generation returns the number of completed migrations (growth,
+// shrink, or cleanup) of the underlying growing core — 0 for bounded
+// string-keyed maps, which never migrate. Monotone; observability
+// layers stamp slow operations with the generation they ran against.
+func (m *Map[K, V]) Generation() uint64 { return m.b.generation() }
 
 // Range calls fn for every element until fn returns false. Like every
 // Range in this repository it is for quiescent use only: concurrent
@@ -539,6 +548,7 @@ func (b *wordBackend[K, V]) newHandle() backendHandle[K, V] {
 	return &wordHandle[K, V]{b: b, h: b.fk.Handle()}
 }
 func (b *wordBackend[K, V]) approxSize() uint64 { return b.fk.ApproxSize() }
+func (b *wordBackend[K, V]) generation() uint64 { return b.fk.Generation() }
 func (b *wordBackend[K, V]) close()             { b.fk.Close() }
 func (b *wordBackend[K, V]) rangeAll(fn func(K, V) bool) {
 	b.fk.Range(func(k, w uint64) bool { return fn(b.kdec(k), b.vc.dec(w)) })
@@ -653,6 +663,7 @@ func (b *stringBackend[K, V]) newHandle() backendHandle[K, V] {
 	return &stringHandle[K, V]{b: b, h: b.sm.Handle()}
 }
 func (b *stringBackend[K, V]) approxSize() uint64 { return b.sm.Size() }
+func (b *stringBackend[K, V]) generation() uint64 { return 0 } // bounded: never migrates
 func (b *stringBackend[K, V]) close()             {}
 func (b *stringBackend[K, V]) rangeAll(fn func(K, V) bool) {
 	b.sm.Range(func(s string, w uint64) bool { return fn(fromString[K](s), b.vc.dec(w)) })
@@ -834,6 +845,8 @@ func (b *genericBackend[K, V]) approxSize() uint64 {
 	}
 	return uint64(n)
 }
+
+func (b *genericBackend[K, V]) generation() uint64 { return b.fk.Generation() }
 
 func (b *genericBackend[K, V]) close() { b.fk.Close() }
 
